@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Designer feedback for an unschedulable system.
+
+The paper notes that HYDRA's *Unschedulable* verdict "will provide
+hints to the designers to update the parameters".  This example builds
+a deliberately overloaded 2-core system, lets HYDRA fail, and asks
+:func:`repro.core.diagnose` for the minimal parameter changes that
+would fix it — then applies one and shows the system going green.
+
+Run:  python examples/design_advice.py
+"""
+
+from dataclasses import replace
+
+from repro.core import HydraAllocator, diagnose, max_security_scale
+from repro.model import (
+    Partition,
+    Platform,
+    RealTimeTask,
+    SecurityTask,
+    SystemModel,
+    TaskSet,
+)
+
+
+def build_overloaded_system() -> SystemModel:
+    platform = Platform(2)
+    rt = TaskSet(
+        [
+            RealTimeTask(name="control", wcet=6.0, period=10.0),  # u=.6
+            RealTimeTask(name="sensing", wcet=8.0, period=20.0),  # u=.4
+            RealTimeTask(name="logging", wcet=30.0, period=100.0),  # u=.3
+        ]
+    )
+    partition = Partition(
+        platform, rt, {"control": 0, "sensing": 1, "logging": 1}
+    )
+    security = TaskSet(
+        [
+            SecurityTask(
+                name="integrity", wcet=35.0, period_des=80.0,
+                period_max=160.0,
+            ),
+            SecurityTask(
+                name="net_scan", wcet=60.0, period_des=100.0,
+                period_max=200.0,
+            ),
+        ]
+    )
+    return SystemModel(
+        platform=platform, rt_partition=partition, security_tasks=security
+    )
+
+
+def main() -> None:
+    system = build_overloaded_system()
+    print("Cores:", system.platform.num_cores,
+          "| RT utilisation per core:",
+          [round(u, 2) for u in system.rt_partition.utilizations()])
+
+    report = diagnose(system)
+    print("\n" + report.format())
+
+    scale = max_security_scale(system)
+    print(
+        f"\nSizing: the system tolerates at most {scale:.2f}× the "
+        f"current security WCETs."
+    )
+
+    stretch = next(
+        (h for h in report.hints if h.kind == "stretch-period-max"), None
+    )
+    if stretch is not None:
+        task = system.security_tasks[stretch.task]
+        fixed_security = TaskSet(
+            replace(t, period_max=stretch.required + 1e-9)
+            if t.name == stretch.task
+            else t
+            for t in system.security_tasks
+        )
+        fixed = SystemModel(
+            platform=system.platform,
+            rt_partition=system.rt_partition,
+            security_tasks=fixed_security,
+        )
+        allocation = HydraAllocator().allocate(fixed)
+        print(
+            f"\nApplying the first hint (T_max of {task.name!r}: "
+            f"{task.period_max:.0f} → {stretch.required:.0f}):"
+        )
+        print("  schedulable:", allocation.schedulable)
+        for a in allocation.assignments:
+            print(
+                f"  {a.task.name:<10} core {a.core}  "
+                f"T={a.period:7.1f}  η={a.tightness:.3f}"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Synthetic design-space sweep (paper Sec. IV-B / Fig. 2) at example
+scale.
+
+Sweeps total utilisation on a 2-core platform, generating synthetic
+task sets per the paper's recipe and recording how many each allocation
+design schedules.  Shows the paper's headline: a dedicated security
+core works at low load but collapses well before HYDRA's opportunistic
+placement does.
+
+Run:  python examples/design_space_sweep.py
+"""
+
+import numpy as np
+
+from repro.experiments.runner import run_acceptance_trial
+from repro.metrics.acceptance import AcceptanceCounter
+from repro.metrics.improvement import acceptance_improvement
+
+CORES = 2
+TASKSETS_PER_POINT = 25
+UTILIZATION_FRACTIONS = (0.2, 0.4, 0.6, 0.8, 0.9)
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    print(
+        f"Acceptance sweep on {CORES} cores "
+        f"({TASKSETS_PER_POINT} synthetic task sets per point)\n"
+    )
+    print(f"{'U/M':>5} {'U_total':>8} {'HYDRA':>7} {'SingleCore':>11} "
+          f"{'improvement':>12}")
+    for fraction in UTILIZATION_FRACTIONS:
+        utilization = fraction * CORES
+        hydra_counter = AcceptanceCounter()
+        single_counter = AcceptanceCounter()
+        for _ in range(TASKSETS_PER_POINT):
+            outcome = run_acceptance_trial(CORES, utilization, rng)
+            hydra_counter.record(outcome.hydra_schedulable)
+            single_counter.record(outcome.single_schedulable)
+        improvement = acceptance_improvement(
+            hydra_counter.ratio, single_counter.ratio
+        )
+        print(
+            f"{fraction:>5.2f} {utilization:>8.2f} "
+            f"{hydra_counter.ratio:>7.2f} {single_counter.ratio:>11.2f} "
+            f"{improvement:>11.1f}%"
+        )
+    print(
+        "\nReading: both designs accept everything at low utilisation; "
+        "as load grows,\nthe dedicated core saturates first because all "
+        "security interference is\nconcentrated there (paper Fig. 2)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Tour of the paper's §V extensions, implemented in the simulator.
+
+The paper's discussion section sketches three directions beyond the
+core HYDRA design; all three are implemented here and compared on the
+UAV case study:
+
+* **global scheduling** — security jobs may migrate to any idle core;
+* **non-preemptive security** — a started check runs to completion
+  (and, as the output shows, blocks real-time tasks: this is *why* the
+  paper's baseline design keeps security preemptible);
+* **precedence constraints** — Tripwire's own binary is verified before
+  any other Tripwire check of the same round.
+
+Run:  python examples/extensions_tour.py
+"""
+
+import numpy as np
+
+from repro.experiments.fig1 import build_uav_systems
+from repro.metrics.cdf import EmpiricalCDF
+from repro.sim.attacks import sample_attacks, surfaces_of
+from repro.sim.detection import detection_times
+from repro.sim.runner import simulate_allocation
+from repro.taskgen.security_apps import TRIPWIRE_PRECEDENCE
+
+CORES = 4
+DURATION_MS = 60_000.0
+ATTACKS = 40
+
+MODES = (
+    ("partitioned (paper)", {}),
+    ("global migration (§V)", {"security_mode": "global"}),
+    ("non-preemptive (§V)", {"preemptible_security": False}),
+    ("precedence (§V)", {"precedence": TRIPWIRE_PRECEDENCE}),
+)
+
+
+def main() -> None:
+    from repro.core import NonPreemptiveHydraAllocator
+
+    hydra_system, hydra_alloc, _, _ = build_uav_systems(CORES)
+    security = hydra_system.security_tasks
+    surfaces = surfaces_of(security)
+    aware_alloc = NonPreemptiveHydraAllocator().allocate(hydra_system)
+
+    modes = list(MODES)
+    if aware_alloc.schedulable:
+        modes.append(
+            ("np + blocking-aware", {"preemptible_security": False,
+                                     "_alloc": aware_alloc})
+        )
+
+    print(f"UAV case study, HYDRA allocation, {CORES} cores, "
+          f"{ATTACKS} attacks per mode\n")
+    print(f"{'mode':<24}{'mean det.':>10}{'p90 det.':>10}"
+          f"{'RT misses':>11}")
+    for label, kwargs in modes:
+        kwargs = dict(kwargs)
+        allocation = kwargs.pop("_alloc", hydra_alloc)
+        rng = np.random.default_rng(99)
+        result = simulate_allocation(
+            hydra_system,
+            allocation,
+            duration=DURATION_MS,
+            rng=rng,
+            **kwargs,
+        )
+        attacks = sample_attacks(
+            ATTACKS, (0.0, DURATION_MS / 2.0), surfaces, rng=rng
+        )
+        cdf = EmpiricalCDF(detection_times(result, attacks, security))
+        security_names = set(security.names)
+        rt_misses = sum(
+            1 for m in result.misses if m.task not in security_names
+        )
+        print(
+            f"{label:<24}{cdf.mean_detected():>9.0f}ms"
+            f"{cdf.quantile(0.9):>9.0f}ms{rt_misses:>11}"
+        )
+
+    print(
+        "\nReading: migration shortens detection (idle cores get used); "
+        "non-preemptive\nsecurity blocks real-time tasks (deadline "
+        "misses!) unless the blocking-aware\nallocator filters "
+        "placements (last row: zero misses); precedence delays\n"
+        "dependent checks slightly (freshness rule)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""HYDRA vs the optimal assignment (paper Sec. IV-B.2 / Fig. 3).
+
+Builds a deliberately tight 2-core system, then compares three ways of
+assigning its security tasks:
+
+* HYDRA (greedy, priority order, argmax tightness);
+* HYDRA + joint-LP period refinement (same cores, better periods);
+* the exact optimum (branch-and-bound over every assignment, joint LP
+  per assignment).
+
+Run:  python examples/optimal_comparison.py
+"""
+
+import numpy as np
+
+from repro.core import HydraAllocator, OptimalAllocator
+from repro.core.variants import LpRefinedHydraAllocator
+from repro.experiments.runner import build_hydra_system
+from repro.metrics.improvement import tightness_gap
+from repro.taskgen.synthetic import SyntheticConfig, generate_workload
+
+UTILIZATION = 1.9  # near the 2-core capacity → visible gap (Fig. 3)
+
+
+def main() -> None:
+    rng = np.random.default_rng(2018)
+    config = SyntheticConfig(security_task_count=(5, 6))
+
+    system = None
+    while system is None:
+        workload = generate_workload(2, UTILIZATION, rng, config)
+        system = build_hydra_system(workload)
+
+    print(
+        f"System: {len(system.rt_tasks)} RT tasks "
+        f"(per-core u = {[round(u, 2) for u in system.rt_partition.utilizations()]}), "
+        f"{len(system.security_tasks)} security tasks, "
+        f"U_total ≈ {UTILIZATION}"
+    )
+
+    allocators = [
+        HydraAllocator(),
+        LpRefinedHydraAllocator(),
+        OptimalAllocator(search="branch-bound"),
+    ]
+    results = {}
+    for allocator in allocators:
+        allocation = allocator.allocate(system)
+        results[allocator.name] = allocation
+        if not allocation.schedulable:
+            print(f"\n{allocator.name}: unschedulable "
+                  f"({allocation.failed_task})")
+            continue
+        print(f"\n{allocator.name}:")
+        for a in allocation.assignments:
+            print(
+                f"  {a.task.name:<8} core {a.core}  T={a.period:9.1f}  "
+                f"η={a.tightness:.3f}"
+            )
+        print(f"  cumulative tightness: "
+              f"{allocation.cumulative_tightness():.4f}")
+
+    hydra = results["hydra"]
+    optimal = results["optimal[branch-bound]"]
+    if hydra.schedulable and optimal.schedulable:
+        gap = tightness_gap(
+            optimal.cumulative_tightness(), hydra.cumulative_tightness()
+        )
+        print(
+            f"\nΔη = (η_OPT − η_HYDRA)/η_OPT = {gap:.2f}% "
+            f"(paper Fig. 3: ≤ 22% even at high utilisation)"
+        )
+        stats = optimal.info
+        print(
+            f"Branch-and-bound explored {stats.get('nodes')} nodes, "
+            f"solved {stats.get('explored')} leaf LPs, pruned "
+            f"{stats.get('pruned')} subtrees "
+            f"(exhaustive would solve {2 ** len(system.security_tasks)})"
+        )
+
+
+if __name__ == "__main__":
+    main()

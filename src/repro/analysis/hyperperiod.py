@@ -1,0 +1,67 @@
+"""Hyperperiod computation and simulation-horizon selection.
+
+A periodic schedule repeats every hyperperiod (the LCM of the task
+periods), so a simulation horizon of one hyperperiod plus the longest
+busy prefix observes every distinct scheduling pattern.  Real-valued
+periods (the synthetic generator produces them) do not have an exact
+LCM, so :func:`hyperperiod` rationalises them to a configurable
+resolution first; :func:`recommended_horizon` then caps the result to a
+practical bound (synthetic periods are deliberately not harmonised, so
+their true hyperperiod can be astronomically large — the cap is what
+any simulation-based study, including the paper's 500 s runs,
+implicitly applies).
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Iterable
+
+from repro.errors import ValidationError
+
+__all__ = ["hyperperiod", "recommended_horizon"]
+
+
+def hyperperiod(
+    periods: Iterable[float], resolution: float = 1e-3
+) -> float:
+    """LCM of ``periods`` after rounding each to ``resolution``.
+
+    Raises :class:`ValidationError` for empty input or non-positive
+    periods.  The result is exact for periods that are integer
+    multiples of ``resolution``.
+    """
+    values = list(periods)
+    if not values:
+        raise ValidationError("hyperperiod of an empty set is undefined")
+    if resolution <= 0:
+        raise ValidationError(f"resolution must be positive: {resolution}")
+    lcm = 1
+    for period in values:
+        if period <= 0:
+            raise ValidationError(f"period must be positive: {period}")
+        ticks = Fraction(period / resolution).limit_denominator(1)
+        ticks_int = max(int(ticks), 1)
+        lcm = lcm * ticks_int // math.gcd(lcm, ticks_int)
+    return lcm * resolution
+
+
+def recommended_horizon(
+    periods: Iterable[float],
+    resolution: float = 1e-3,
+    cap_factor: float = 100.0,
+) -> float:
+    """A practical simulation horizon for the given periods.
+
+    One hyperperiod when it is small; otherwise ``cap_factor`` times the
+    largest period (long enough for many instances of even the slowest
+    task, the criterion behind the paper's 500 s runs).
+    """
+    values = list(periods)
+    cap = cap_factor * max(values, default=0.0)
+    try:
+        h = hyperperiod(values, resolution=resolution)
+    except (ValidationError, OverflowError):
+        return cap
+    return min(h, cap) if cap > 0 else h

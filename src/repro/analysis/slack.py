@@ -1,0 +1,65 @@
+"""Per-core capacity/slack accounting.
+
+Security tasks execute "opportunistically in the slack time" (paper
+Sec. III).  These helpers quantify how much background capacity each core
+offers, which the allocators use for reporting and which the global-
+migration extension uses to pick a target core at runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.interference import InterferenceEnv
+from repro.model.system import Partition
+
+__all__ = ["CoreSlack", "core_slack", "partition_slack"]
+
+
+@dataclass(frozen=True, slots=True)
+class CoreSlack:
+    """Capacity snapshot of one core.
+
+    Attributes
+    ----------
+    core:
+        Core index.
+    rt_utilization:
+        Utilisation consumed by the partitioned real-time tasks.
+    security_utilization:
+        Utilisation consumed by already-allocated security tasks (at
+        their assigned periods).
+    """
+
+    core: int
+    rt_utilization: float
+    security_utilization: float = 0.0
+
+    @property
+    def total_utilization(self) -> float:
+        return self.rt_utilization + self.security_utilization
+
+    @property
+    def slack(self) -> float:
+        """Long-run fraction of the core left idle, ``max(0, 1 − U)``."""
+        return max(0.0, 1.0 - self.total_utilization)
+
+
+def core_slack(
+    partition: Partition,
+    core: int,
+    security_env: InterferenceEnv | None = None,
+) -> CoreSlack:
+    """Slack of ``core`` given its real-time partition and, optionally, an
+    interference environment describing the security tasks already
+    assigned there."""
+    rt_u = partition.utilization_of(core)
+    sec_u = security_env.utilization if security_env is not None else 0.0
+    # Security env built via InterferenceEnv.on_core() may mix in the RT
+    # tasks; callers are expected to pass a security-only env here.
+    return CoreSlack(core=core, rt_utilization=rt_u, security_utilization=sec_u)
+
+
+def partition_slack(partition: Partition) -> list[CoreSlack]:
+    """Slack of every core of ``partition`` with no security load."""
+    return [core_slack(partition, core) for core in partition.platform]

@@ -1,0 +1,206 @@
+"""Command-line entry point: ``repro-hydra`` / ``python -m repro``.
+
+Runs any of the paper's experiments at a chosen scale and prints the
+table/series the paper reports::
+
+    repro-hydra table1
+    repro-hydra fig1 --scale smoke
+    repro-hydra fig2 --scale default
+    repro-hydra fig3 --scale paper
+    repro-hydra ablations
+    repro-hydra all --scale smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.experiments import (
+    core_choice_ablation,
+    extension_ablation,
+    format_allocator_comparison,
+    format_extension_ablation,
+    format_fig1,
+    format_fig2,
+    format_fig3,
+    format_quality,
+    format_search_ablation,
+    format_table1,
+    get_scale,
+    partitioning_ablation,
+    run_fig1,
+    run_fig2,
+    run_fig3,
+    run_quality,
+    run_table1,
+    search_ablation,
+    solver_ablation,
+)
+
+__all__ = ["main", "build_parser"]
+
+_EXPERIMENTS = (
+    "table1", "fig1", "fig2", "fig3", "quality", "ablations", "all",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-hydra",
+        description=(
+            "Regenerate the tables and figures of 'A Design-Space "
+            "Exploration for Allocating Security Tasks in Multicore "
+            "Real-Time Systems' (DATE 2018)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=_EXPERIMENTS,
+        help="which experiment to run",
+    )
+    parser.add_argument(
+        "--scale",
+        default=None,
+        choices=("smoke", "default", "paper"),
+        help="experiment scale (default: $REPRO_SCALE or 'default')",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="override the base RNG seed",
+    )
+    parser.add_argument(
+        "--csv",
+        metavar="DIR",
+        default=None,
+        help=(
+            "additionally export the numeric series of the selected "
+            "experiment(s) as CSV files into DIR"
+        ),
+    )
+    return parser
+
+
+def _export_csv(directory: str, name: str, headers, rows) -> None:
+    from pathlib import Path
+
+    from repro.io import rows_to_csv
+
+    target = Path(directory)
+    target.mkdir(parents=True, exist_ok=True)
+    rows_to_csv(headers, rows, target / f"{name}.csv")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    scale = get_scale(args.scale)
+    if args.seed is not None:
+        scale = scale.with_overrides(seed=args.seed)
+
+    sections: list[str] = []
+    if args.experiment in ("table1", "all"):
+        rows = run_table1()
+        sections.append(format_table1(rows))
+        if args.csv:
+            _export_csv(
+                args.csv,
+                "table1",
+                ["task", "application", "surface", "wcet", "period_des",
+                 "period_max", "hydra_core", "hydra_period",
+                 "single_period"],
+                [
+                    (r.name, r.application, r.surface, r.wcet,
+                     r.period_des, r.period_max, r.hydra_core,
+                     r.hydra_period, r.single_period)
+                    for r in rows
+                ],
+            )
+    if args.experiment in ("fig1", "all"):
+        fig1 = run_fig1(scale)
+        sections.append(format_fig1(fig1))
+        if args.csv:
+            _export_csv(
+                args.csv,
+                "fig1",
+                ["cores", "scheme", "detection_time_ms"],
+                [
+                    (point.cores, scheme.scheme, t)
+                    for point in fig1.points
+                    for scheme in (point.hydra, point.single)
+                    for t in scheme.times
+                ],
+            )
+    if args.experiment in ("fig2", "all"):
+        fig2 = run_fig2(scale)
+        sections.append(format_fig2(fig2))
+        if args.csv:
+            _export_csv(
+                args.csv,
+                "fig2",
+                ["cores", "utilization", "accept_hydra", "accept_single",
+                 "improvement_pct"],
+                [
+                    (p.cores, p.utilization, p.ratio_hydra,
+                     p.ratio_single, p.improvement)
+                    for p in fig2.points
+                ],
+            )
+    if args.experiment in ("fig3", "all"):
+        fig3 = run_fig3(scale)
+        sections.append(format_fig3(fig3))
+        if args.csv:
+            _export_csv(
+                args.csv,
+                "fig3",
+                ["utilization", "mean_gap_pct", "max_gap_pct", "compared",
+                 "hydra_failures"],
+                [
+                    (p.utilization, p.mean_gap, p.max_gap, p.compared,
+                     p.hydra_failures)
+                    for p in fig3.points
+                ],
+            )
+    if args.experiment in ("quality", "all"):
+        quality = run_quality(scale)
+        sections.append(format_quality(quality))
+        if args.csv:
+            _export_csv(
+                args.csv,
+                "quality",
+                ["cores", "utilization", "both_accepted",
+                 "mean_tightness_hydra", "mean_tightness_single"],
+                [
+                    (p.cores, p.utilization, p.both_accepted,
+                     p.mean_tightness_hydra, p.mean_tightness_single)
+                    for p in quality.points
+                ],
+            )
+    if args.experiment in ("ablations", "all"):
+        sections.append(
+            format_allocator_comparison(
+                solver_ablation(scale), "Ablation: period solver"
+            )
+        )
+        sections.append(
+            format_allocator_comparison(
+                core_choice_ablation(scale), "Ablation: core-selection rule"
+            )
+        )
+        sections.append(format_search_ablation(search_ablation(scale)))
+        sections.append(format_extension_ablation(extension_ablation(scale)))
+        sections.append(
+            format_allocator_comparison(
+                partitioning_ablation(scale),
+                "Ablation: real-time partitioning heuristic",
+            )
+        )
+
+    print(("\n\n" + "=" * 78 + "\n\n").join(sections))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,100 @@
+"""HYDRA — the paper's Algorithm 1.
+
+Iterate over the security tasks from highest to lowest priority; for the
+current task, solve the period-adaptation problem of Eq. (7) on *every*
+core against that core's real-time tasks plus the higher-priority
+security tasks already committed there; assign the task to the core with
+the maximum achievable tightness (``argmax η``, ties broken towards the
+lowest core index for determinism) and freeze its period.  If no core is
+feasible, the whole task set is declared unschedulable — the algorithm
+does not backtrack.
+
+The inner solve is pluggable:
+
+* ``"closed-form"`` (default) — the analytical optimum of Eq. (7).
+* ``"gp"`` — the paper's geometric-program route through
+  :mod:`repro.opt.gp` (same optimum, exercises the interior-point path).
+* ``"exact-rta"`` — exact response-time analysis instead of the
+  linearised Eq. (5) (extension; strictly more permissive).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.analysis.interference import InterferenceEnv
+from repro.core.allocator import Allocation, Allocator, SecurityAssignment
+from repro.model.priority import security_priority_order
+from repro.model.system import SystemModel
+from repro.model.task import SecurityTask
+from repro.opt.period import PeriodSolution, adapt_period, adapt_period_exact
+from repro.opt.period_gp import adapt_period_gp
+
+__all__ = ["HydraAllocator", "PERIOD_SOLVERS"]
+
+#: Available inner period solvers, name → callable.
+PERIOD_SOLVERS: dict[
+    str, Callable[[SecurityTask, InterferenceEnv], PeriodSolution | None]
+] = {
+    "closed-form": adapt_period,
+    "gp": adapt_period_gp,
+    "exact-rta": adapt_period_exact,
+}
+
+
+class HydraAllocator(Allocator):
+    """The HYDRA design-space exploration algorithm (Algorithm 1)."""
+
+    name = "hydra"
+
+    def __init__(self, solver: str = "closed-form") -> None:
+        if solver not in PERIOD_SOLVERS:
+            raise ValueError(
+                f"unknown period solver {solver!r}; expected one of "
+                f"{sorted(PERIOD_SOLVERS)}"
+            )
+        self.solver_name = solver
+        self._solve = PERIOD_SOLVERS[solver]
+        if solver != "closed-form":
+            self.name = f"hydra[{solver}]"
+
+    def allocate(self, system: SystemModel) -> Allocation:
+        ordered = security_priority_order(system.security_tasks)
+        # Security tasks already committed per core, with frozen periods.
+        placed: dict[int, list[tuple[SecurityTask, float]]] = {
+            core: [] for core in system.platform
+        }
+        assignments: list[SecurityAssignment] = []
+
+        for task in ordered:
+            best_core: int | None = None
+            best: PeriodSolution | None = None
+            for core in system.platform:
+                env = InterferenceEnv.on_core(
+                    system.rt_partition.tasks_on(core), placed[core]
+                )
+                candidate = self._solve(task, env)
+                if candidate is None:
+                    continue
+                if best is None or candidate.tightness > best.tightness + 1e-12:
+                    best, best_core = candidate, core
+            if best is None or best_core is None:
+                # Algorithm 1 line 9: no suitable period on any core.
+                return Allocation(
+                    scheme=self.name,
+                    schedulable=False,
+                    failed_task=task.name,
+                )
+            placed[best_core].append((task, best.period))
+            assignments.append(
+                SecurityAssignment(
+                    task=task, core=best_core, period=best.period
+                )
+            )
+
+        return Allocation(
+            scheme=self.name,
+            schedulable=True,
+            assignments=tuple(assignments),
+            info={"solver": self.solver_name},
+        )

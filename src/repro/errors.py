@@ -1,0 +1,45 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class ValidationError(ReproError, ValueError):
+    """A model object was constructed with invalid parameters.
+
+    Also a :class:`ValueError` so that generic input-validation handlers
+    keep working.
+    """
+
+
+class PartitioningError(ReproError):
+    """The real-time task set could not be partitioned onto the cores."""
+
+    def __init__(self, message: str, unplaced_task: object = None) -> None:
+        super().__init__(message)
+        #: The first task that could not be placed, if known.
+        self.unplaced_task = unplaced_task
+
+
+class InfeasibleError(ReproError):
+    """An optimisation problem has an empty feasible region."""
+
+
+class SolverError(ReproError):
+    """A numerical solver failed to converge or reported an internal error."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent state."""
+
+
+class AllocationError(ReproError):
+    """A security-task allocator could not produce a valid allocation."""

@@ -1,0 +1,71 @@
+"""Experiment drivers regenerating every table and figure of the paper
+(plus the DESIGN §7 ablations).
+
+* :mod:`repro.experiments.table1` — the security-task catalogue.
+* :mod:`repro.experiments.fig1` — UAV case study detection-time CDFs.
+* :mod:`repro.experiments.fig2` — acceptance-ratio improvement sweep.
+* :mod:`repro.experiments.fig3` — HYDRA vs optimal tightness gap.
+* :mod:`repro.experiments.ablations` — solver / core-choice / search /
+  extension ablations.
+* :mod:`repro.experiments.config` — ``smoke`` / ``default`` / ``paper``
+  scaling presets (env var ``REPRO_SCALE``).
+"""
+
+from repro.experiments.ablations import (
+    AllocatorComparison,
+    SearchAblationResult,
+    core_choice_ablation,
+    extension_ablation,
+    format_allocator_comparison,
+    format_extension_ablation,
+    format_search_ablation,
+    partitioning_ablation,
+    search_ablation,
+    solver_ablation,
+)
+from repro.experiments.config import SCALES, ExperimentScale, get_scale
+from repro.experiments.fig1 import (
+    Fig1Result,
+    build_uav_systems,
+    format_fig1,
+    run_fig1,
+)
+from repro.experiments.fig2 import Fig2Result, format_fig2, run_fig2
+from repro.experiments.fig3 import Fig3Result, format_fig3, run_fig3
+from repro.experiments.quality import (
+    QualityResult,
+    format_quality,
+    run_quality,
+)
+from repro.experiments.table1 import format_table1, run_table1
+
+__all__ = [
+    "ExperimentScale",
+    "SCALES",
+    "get_scale",
+    "run_table1",
+    "format_table1",
+    "run_fig1",
+    "format_fig1",
+    "build_uav_systems",
+    "Fig1Result",
+    "run_fig2",
+    "format_fig2",
+    "Fig2Result",
+    "run_fig3",
+    "format_fig3",
+    "Fig3Result",
+    "run_quality",
+    "format_quality",
+    "QualityResult",
+    "solver_ablation",
+    "core_choice_ablation",
+    "search_ablation",
+    "extension_ablation",
+    "partitioning_ablation",
+    "AllocatorComparison",
+    "SearchAblationResult",
+    "format_allocator_comparison",
+    "format_search_ablation",
+    "format_extension_ablation",
+]

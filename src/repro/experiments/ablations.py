@@ -1,0 +1,446 @@
+"""Ablation studies for the design choices DESIGN §7 calls out.
+
+These go beyond the paper's three figures and quantify *why* HYDRA is
+built the way it is:
+
+* :func:`solver_ablation` — the cost of the GP-compatible linearised
+  interference bound versus exact RTA, and what joint LP period
+  refinement adds on top of greedy periods.
+* :func:`core_choice_ablation` — HYDRA's argmax-tightness core rule
+  versus cheaper rules (first feasible core, most-slack core).
+* :func:`search_ablation` — branch-and-bound versus exhaustive
+  enumeration for the OPT baseline (same optimum, fewer LP solves).
+* :func:`extension_ablation` — detection-time impact of the paper's §V
+  extensions (global migration, non-preemptive security, precedence).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.allocator import Allocator
+from repro.core.hydra import HydraAllocator
+from repro.core.variants import (
+    FirstFeasibleAllocator,
+    LpRefinedHydraAllocator,
+    SlackiestCoreAllocator,
+)
+from repro.experiments.config import ExperimentScale, get_scale
+from repro.experiments.fig1 import build_uav_systems
+from repro.experiments.reporting import format_table, percent
+from repro.experiments.runner import build_hydra_system, spawn_streams
+from repro.metrics.acceptance import AcceptanceCounter
+from repro.metrics.cdf import EmpiricalCDF
+from repro.model.platform import Platform
+from repro.opt.branch_bound import branch_bound_optimal
+from repro.opt.exhaustive import exhaustive_optimal
+from repro.sim.attacks import sample_attacks, surfaces_of
+from repro.sim.detection import detection_times
+from repro.sim.runner import simulate_allocation
+from repro.taskgen.security_apps import TRIPWIRE_PRECEDENCE
+from repro.taskgen.synthetic import SyntheticConfig, generate_workload, \
+    utilization_sweep
+
+__all__ = [
+    "AllocatorCell",
+    "AllocatorComparison",
+    "solver_ablation",
+    "core_choice_ablation",
+    "SearchAblationResult",
+    "search_ablation",
+    "ExtensionCell",
+    "extension_ablation",
+    "partitioning_ablation",
+    "format_allocator_comparison",
+    "format_search_ablation",
+    "format_extension_ablation",
+]
+
+
+@dataclass(frozen=True)
+class AllocatorCell:
+    """One (allocator, utilisation) cell of an allocator comparison."""
+
+    scheme: str
+    utilization: float
+    acceptance: float
+    mean_tightness: float  # mean over schedulable task sets (ω = 1)
+
+
+@dataclass(frozen=True)
+class AllocatorComparison:
+    cells: tuple[AllocatorCell, ...]
+    cores: int
+    tasksets_per_point: int
+
+    def schemes(self) -> list[str]:
+        seen: list[str] = []
+        for cell in self.cells:
+            if cell.scheme not in seen:
+                seen.append(cell.scheme)
+        return seen
+
+    def series(self, scheme: str) -> list[AllocatorCell]:
+        return [c for c in self.cells if c.scheme == scheme]
+
+
+def _compare_allocators(
+    allocators: list[Allocator],
+    scale: ExperimentScale,
+    cores: int,
+    config: SyntheticConfig | None,
+    seed_offset: int,
+) -> AllocatorComparison:
+    platform = Platform(cores)
+    utils = list(
+        utilization_sweep(
+            platform,
+            step_fraction=scale.utilization_step,
+            start_fraction=scale.utilization_start,
+            stop_fraction=scale.utilization_stop,
+        )
+    )
+    cells: list[AllocatorCell] = []
+    streams = spawn_streams(scale.seed + seed_offset, len(utils))
+    for utilization, rng in zip(utils, streams):
+        counters = {a.name: AcceptanceCounter() for a in allocators}
+        tightness_sums = {a.name: 0.0 for a in allocators}
+        for _ in range(scale.tasksets_per_point):
+            workload = generate_workload(platform, utilization, rng, config)
+            system = build_hydra_system(workload)
+            for allocator in allocators:
+                if system is None:
+                    counters[allocator.name].record(False)
+                    continue
+                allocation = allocator.allocate(system)
+                counters[allocator.name].record(allocation.schedulable)
+                if allocation.schedulable:
+                    tightness_sums[allocator.name] += (
+                        allocation.mean_tightness()
+                    )
+        for allocator in allocators:
+            counter = counters[allocator.name]
+            cells.append(
+                AllocatorCell(
+                    scheme=allocator.name,
+                    utilization=utilization,
+                    acceptance=counter.ratio,
+                    mean_tightness=(
+                        tightness_sums[allocator.name] / counter.accepted
+                        if counter.accepted
+                        else 0.0
+                    ),
+                )
+            )
+    return AllocatorComparison(
+        cells=tuple(cells),
+        cores=cores,
+        tasksets_per_point=scale.tasksets_per_point,
+    )
+
+
+def solver_ablation(
+    scale: ExperimentScale | None = None,
+    cores: int = 2,
+    config: SyntheticConfig | None = None,
+) -> AllocatorComparison:
+    """Linearised Eq. (5) vs exact RTA vs LP-refined periods."""
+    scale = scale or get_scale()
+    return _compare_allocators(
+        [
+            HydraAllocator(solver="closed-form"),
+            HydraAllocator(solver="exact-rta"),
+            LpRefinedHydraAllocator(),
+        ],
+        scale,
+        cores,
+        config,
+        seed_offset=53,
+    )
+
+
+def core_choice_ablation(
+    scale: ExperimentScale | None = None,
+    cores: int = 4,
+    config: SyntheticConfig | None = None,
+) -> AllocatorComparison:
+    """HYDRA's argmax-tightness rule vs cheaper core-selection rules."""
+    scale = scale or get_scale()
+    return _compare_allocators(
+        [
+            HydraAllocator(),
+            FirstFeasibleAllocator(),
+            SlackiestCoreAllocator(),
+        ],
+        scale,
+        cores,
+        config,
+        seed_offset=67,
+    )
+
+
+@dataclass(frozen=True)
+class SearchAblationResult:
+    """Exhaustive vs branch-and-bound on identical systems."""
+
+    systems: int
+    agreements: int
+    exhaustive_lp_solves: int
+    bnb_lp_solves: int
+    bnb_nodes: int
+
+    @property
+    def solve_reduction(self) -> float:
+        if self.exhaustive_lp_solves == 0:
+            return 0.0
+        return (
+            (self.exhaustive_lp_solves - self.bnb_lp_solves)
+            / self.exhaustive_lp_solves
+            * 100.0
+        )
+
+
+def search_ablation(
+    scale: ExperimentScale | None = None,
+    cores: int = 2,
+    utilization_fraction: float = 0.6,
+) -> SearchAblationResult:
+    """Compare the two optimal searches over sampled systems."""
+    scale = scale or get_scale()
+    platform = Platform(cores)
+    config = SyntheticConfig(security_task_count=(2, 6))
+    rng = np.random.default_rng(scale.seed + 71)
+    systems = agreements = exhaustive_solves = bnb_solves = nodes = 0
+    for _ in range(scale.fig3_tasksets_per_point):
+        workload = generate_workload(
+            platform, utilization_fraction * cores, rng, config
+        )
+        system = build_hydra_system(workload)
+        if system is None:
+            continue
+        exhaustive = exhaustive_optimal(system, prune=False)
+        bnb, stats = branch_bound_optimal(system)
+        systems += 1
+        ns = len(system.security_tasks)
+        exhaustive_solves += cores**ns
+        bnb_solves += stats.leaves_solved
+        nodes += stats.nodes
+        if exhaustive is None and bnb is None:
+            agreements += 1
+        elif (
+            exhaustive is not None
+            and bnb is not None
+            and abs(exhaustive.tightness - bnb.tightness) < 1e-6
+        ):
+            agreements += 1
+    return SearchAblationResult(
+        systems=systems,
+        agreements=agreements,
+        exhaustive_lp_solves=exhaustive_solves,
+        bnb_lp_solves=bnb_solves,
+        bnb_nodes=nodes,
+    )
+
+
+@dataclass(frozen=True)
+class ExtensionCell:
+    """Detection statistics for one simulator mode."""
+
+    mode: str
+    mean_detection: float
+    p90_detection: float
+    missed_deadlines: int
+
+
+def extension_ablation(
+    scale: ExperimentScale | None = None,
+    cores: int = 4,
+) -> list[ExtensionCell]:
+    """Detection impact of the §V extensions on the UAV case study.
+
+    The ``non-preemptive`` row runs plain HYDRA's allocation with
+    non-preemptive security — demonstrating the blocking damage — while
+    ``non-preemptive+aware`` re-allocates with the blocking-aware
+    :class:`~repro.core.nonpreemptive.NonPreemptiveHydraAllocator`,
+    which must bring the real-time deadline misses back to zero.
+    """
+    from repro.core.nonpreemptive import NonPreemptiveHydraAllocator
+
+    scale = scale or get_scale()
+    hydra_system, hydra_alloc, _, _ = build_uav_systems(cores)
+    surfaces = surfaces_of(hydra_system.security_tasks)
+    aware_alloc = NonPreemptiveHydraAllocator().allocate(hydra_system)
+    modes: list[tuple[str, object, dict]] = [
+        ("partitioned", hydra_alloc, {}),
+        ("global", hydra_alloc, {"security_mode": "global"}),
+        ("non-preemptive", hydra_alloc, {"preemptible_security": False}),
+        ("precedence", hydra_alloc, {"precedence": TRIPWIRE_PRECEDENCE}),
+    ]
+    if aware_alloc.schedulable:
+        modes.append(
+            (
+                "non-preemptive+aware",
+                aware_alloc,
+                {"preemptible_security": False},
+            )
+        )
+    cells: list[ExtensionCell] = []
+    for mode_name, allocation, kwargs in modes:
+        rng = np.random.default_rng(scale.seed + 83)
+        result = simulate_allocation(
+            hydra_system,
+            allocation,
+            duration=scale.sim_duration,
+            rng=rng,
+            **kwargs,
+        )
+        tail = max(a.period for a in allocation.assignments) * 2.0
+        window_end = max(
+            scale.sim_duration - tail, scale.sim_duration * 0.25
+        )
+        attacks = sample_attacks(
+            scale.sim_trials, (0.0, window_end), surfaces, rng=rng
+        )
+        times = detection_times(
+            result, attacks, hydra_system.security_tasks
+        )
+        cdf = EmpiricalCDF(times)
+        security_names = set(hydra_system.security_tasks.names)
+        rt_misses = [
+            m for m in result.misses if m.task not in security_names
+        ]
+        cells.append(
+            ExtensionCell(
+                mode=mode_name,
+                mean_detection=cdf.mean_detected(),
+                p90_detection=cdf.quantile(0.9),
+                missed_deadlines=len(rt_misses),
+            )
+        )
+    return cells
+
+
+def partitioning_ablation(
+    scale: ExperimentScale | None = None,
+    cores: int = 4,
+    config: SyntheticConfig | None = None,
+    heuristics: tuple[str, ...] = ("best-fit", "worst-fit", "first-fit"),
+) -> AllocatorComparison:
+    """How the *real-time* partitioning heuristic shapes HYDRA's room.
+
+    The paper fixes best-fit (Sec. IV-B) and treats the partition as
+    given; this ablation varies it.  Intuition both ways: best-fit packs
+    real-time tasks tightly, leaving some cores nearly empty for
+    security (good for tightness); worst-fit balances load, leaving
+    moderate slack everywhere (good when many security tasks must
+    spread).  Reported per heuristic: HYDRA acceptance and mean
+    tightness, with the heuristic name used as the scheme label.
+    """
+    from repro.core.hydra import HydraAllocator
+
+    scale = scale or get_scale()
+    platform = Platform(cores)
+    utils = list(
+        utilization_sweep(
+            platform,
+            step_fraction=scale.utilization_step,
+            start_fraction=scale.utilization_start,
+            stop_fraction=scale.utilization_stop,
+        )
+    )
+    allocator = HydraAllocator()
+    cells: list[AllocatorCell] = []
+    streams = spawn_streams(scale.seed + 97, len(utils))
+    for utilization, rng in zip(utils, streams):
+        counters = {h: AcceptanceCounter() for h in heuristics}
+        tightness_sums = {h: 0.0 for h in heuristics}
+        for _ in range(scale.tasksets_per_point):
+            workload = generate_workload(platform, utilization, rng, config)
+            for heuristic in heuristics:
+                system = build_hydra_system(workload, heuristic=heuristic)
+                if system is None:
+                    counters[heuristic].record(False)
+                    continue
+                allocation = allocator.allocate(system)
+                counters[heuristic].record(allocation.schedulable)
+                if allocation.schedulable:
+                    tightness_sums[heuristic] += allocation.mean_tightness()
+        for heuristic in heuristics:
+            counter = counters[heuristic]
+            cells.append(
+                AllocatorCell(
+                    scheme=heuristic,
+                    utilization=utilization,
+                    acceptance=counter.ratio,
+                    mean_tightness=(
+                        tightness_sums[heuristic] / counter.accepted
+                        if counter.accepted
+                        else 0.0
+                    ),
+                )
+            )
+    return AllocatorComparison(
+        cells=tuple(cells),
+        cores=cores,
+        tasksets_per_point=scale.tasksets_per_point,
+    )
+
+
+# -- formatting --------------------------------------------------------------
+
+
+def format_allocator_comparison(
+    comparison: AllocatorComparison, title: str
+) -> str:
+    rows = []
+    for cell in comparison.cells:
+        rows.append(
+            (
+                f"{cell.utilization:.3f}",
+                cell.scheme,
+                f"{cell.acceptance:.3f}",
+                f"{cell.mean_tightness:.3f}",
+            )
+        )
+    return format_table(
+        ["U_total", "scheme", "acceptance", "mean tightness"],
+        rows,
+        title=f"{title} ({comparison.cores} cores, "
+              f"{comparison.tasksets_per_point} task sets/point)",
+    )
+
+
+def format_search_ablation(result: SearchAblationResult) -> str:
+    return format_table(
+        ["systems", "agreements", "LP solves (exh)", "LP solves (BnB)",
+         "nodes", "solve reduction"],
+        [
+            (
+                result.systems,
+                result.agreements,
+                result.exhaustive_lp_solves,
+                result.bnb_lp_solves,
+                result.bnb_nodes,
+                percent(result.solve_reduction),
+            )
+        ],
+        title="Optimal search: exhaustive vs branch-and-bound",
+    )
+
+
+def format_extension_ablation(cells: list[ExtensionCell]) -> str:
+    return format_table(
+        ["mode", "mean detection (ms)", "p90 (ms)", "RT deadline misses"],
+        [
+            (
+                c.mode,
+                f"{c.mean_detection:.0f}",
+                f"{c.p90_detection:.0f}",
+                c.missed_deadlines,
+            )
+            for c in cells
+        ],
+        title="§V extensions — detection impact (UAV case study, HYDRA)",
+    )

@@ -1,0 +1,132 @@
+"""Fig. 2 — improvement in acceptance ratio, HYDRA vs SingleCore.
+
+For each core count ``M`` and each total utilisation on the paper's
+grid, generate synthetic task sets (Sec. IV-B recipe) and record the
+fraction each scheme schedules.  The paper's observed shape: both
+schemes agree at low utilisation (ample slack everywhere) and HYDRA
+pulls ahead sharply at high utilisation, where funnelling every
+security task through one core starves the low-priority ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.config import ExperimentScale, get_scale
+from repro.experiments.reporting import format_series, format_table, percent
+from repro.experiments.runner import run_acceptance_trial, spawn_streams
+from repro.metrics.acceptance import AcceptanceCounter
+from repro.metrics.improvement import acceptance_improvement
+from repro.model.platform import Platform
+from repro.taskgen.synthetic import SyntheticConfig, utilization_sweep
+
+__all__ = ["Fig2Point", "Fig2Result", "run_fig2", "format_fig2"]
+
+
+@dataclass(frozen=True)
+class Fig2Point:
+    """One utilisation point of one Fig. 2 panel."""
+
+    cores: int
+    utilization: float
+    ratio_hydra: float
+    ratio_single: float
+    tasksets: int
+
+    @property
+    def normalized_utilization(self) -> float:
+        return self.utilization / self.cores
+
+    @property
+    def improvement(self) -> float:
+        """The Fig. 2 y-value (see DESIGN §4 on the formula)."""
+        return acceptance_improvement(self.ratio_hydra, self.ratio_single)
+
+
+@dataclass(frozen=True)
+class Fig2Result:
+    """All panels of Fig. 2 (one per core count)."""
+
+    points: tuple[Fig2Point, ...]
+    scale: str
+
+    def panel(self, cores: int) -> list[Fig2Point]:
+        return [p for p in self.points if p.cores == cores]
+
+    @property
+    def core_counts(self) -> list[int]:
+        return sorted({p.cores for p in self.points})
+
+
+def run_fig2(
+    scale: ExperimentScale | None = None,
+    config: SyntheticConfig | None = None,
+) -> Fig2Result:
+    """Run the full Fig. 2 sweep at the given scale."""
+    scale = scale or get_scale()
+    points: list[Fig2Point] = []
+    for cores in scale.core_counts:
+        platform = Platform(cores)
+        utils = list(
+            utilization_sweep(
+                platform,
+                step_fraction=scale.utilization_step,
+                start_fraction=scale.utilization_start,
+                stop_fraction=scale.utilization_stop,
+            )
+        )
+        streams = spawn_streams(scale.seed + cores, len(utils))
+        for utilization, rng in zip(utils, streams):
+            hydra_counter = AcceptanceCounter()
+            single_counter = AcceptanceCounter()
+            for _ in range(scale.tasksets_per_point):
+                outcome = run_acceptance_trial(
+                    platform, utilization, rng, config=config
+                )
+                hydra_counter.record(outcome.hydra_schedulable)
+                single_counter.record(outcome.single_schedulable)
+            points.append(
+                Fig2Point(
+                    cores=cores,
+                    utilization=utilization,
+                    ratio_hydra=hydra_counter.ratio,
+                    ratio_single=single_counter.ratio,
+                    tasksets=scale.tasksets_per_point,
+                )
+            )
+    return Fig2Result(points=tuple(points), scale=scale.name)
+
+
+def format_fig2(result: Fig2Result) -> str:
+    """Render the Fig. 2 reproduction as tables plus ASCII series."""
+    blocks: list[str] = []
+    for cores in result.core_counts:
+        panel = result.panel(cores)
+        rows = [
+            (
+                f"{p.utilization:.3f}",
+                f"{p.normalized_utilization:.3f}",
+                f"{p.ratio_hydra:.3f}",
+                f"{p.ratio_single:.3f}",
+                percent(p.improvement),
+            )
+            for p in panel
+        ]
+        blocks.append(
+            format_table(
+                ["U_total", "U/M", "accept(HYDRA)", "accept(SingleCore)",
+                 "improvement"],
+                rows,
+                title=f"Fig. 2 — {cores} cores "
+                      f"({panel[0].tasksets} task sets/point, "
+                      f"scale={result.scale})",
+            )
+        )
+        blocks.append(
+            format_series(
+                [p.normalized_utilization for p in panel],
+                [p.improvement for p in panel],
+                label=f"improvement vs U/M ({cores} cores) ",
+            )
+        )
+    return "\n\n".join(blocks)

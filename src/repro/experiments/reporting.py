@@ -1,0 +1,76 @@
+"""Plain-text rendering of experiment results.
+
+The paper reports through figures; a terminal reproduction reports
+through aligned tables and coarse ASCII series.  Everything here is
+pure formatting — no experiment logic.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "format_series", "percent"]
+
+
+def percent(value: float, digits: int = 2) -> str:
+    """Format a percentage, tolerating infinities."""
+    if math.isinf(value):
+        return "inf" if value > 0 else "-inf"
+    return f"{value:.{digits}f}%"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render rows as an aligned ASCII table."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(
+            " | ".join(cell.rjust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    height: int = 8,
+    label: str = "",
+) -> str:
+    """Render a y-vs-x series as a coarse ASCII plot.
+
+    ``ys`` values of ``inf``/``nan`` are skipped.  Intended for quick
+    shape checks of the figure reproductions in terminal output.
+    """
+    points = [
+        (x, y) for x, y in zip(xs, ys) if not (math.isnan(y) or math.isinf(y))
+    ]
+    if not points or height < 2:
+        return f"{label}(no data)"
+    y_min = min(y for _, y in points)
+    y_max = max(y for _, y in points)
+    span = y_max - y_min or 1.0
+    width = len(points)
+    grid = [[" "] * width for _ in range(height)]
+    for col, (_, y) in enumerate(points):
+        row = int((y - y_min) / span * (height - 1))
+        grid[height - 1 - row][col] = "*"
+    lines = [f"{label} y ∈ [{y_min:.3g}, {y_max:.3g}]"]
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" x ∈ [{points[0][0]:.3g}, {points[-1][0]:.3g}]")
+    return "\n".join(lines)

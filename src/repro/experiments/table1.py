@@ -1,0 +1,81 @@
+"""Table I — the security-task catalogue, plus achieved allocations.
+
+The paper's Table I lists each security task and its function.  The
+reproduction regenerates that listing from
+:data:`repro.taskgen.security_apps.TABLE1_SPECS` and extends it with
+the timing parameters this library attaches (WCET, desired/maximum
+period) and — as a cross-reference with Fig. 1 — the core and period
+each task receives under HYDRA and SingleCore on the UAV platform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.fig1 import build_uav_systems
+from repro.experiments.reporting import format_table
+from repro.taskgen.security_apps import TABLE1_SPECS
+
+__all__ = ["Table1Row", "run_table1", "format_table1"]
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    name: str
+    application: str
+    function: str
+    surface: str
+    wcet: float
+    period_des: float
+    period_max: float
+    hydra_core: int
+    hydra_period: float
+    single_period: float
+
+
+def run_table1(cores: int = 2) -> list[Table1Row]:
+    """Build the extended Table I on a ``cores``-core UAV platform."""
+    _, hydra_alloc, _, single_alloc = build_uav_systems(cores)
+    rows: list[Table1Row] = []
+    for spec in TABLE1_SPECS:
+        hydra_assignment = hydra_alloc.assignment_for(spec.name)
+        single_assignment = single_alloc.assignment_for(spec.name)
+        rows.append(
+            Table1Row(
+                name=spec.name,
+                application=spec.application,
+                function=spec.function,
+                surface=spec.surface,
+                wcet=spec.wcet,
+                period_des=spec.period_des,
+                period_max=spec.period_max,
+                hydra_core=hydra_assignment.core,
+                hydra_period=hydra_assignment.period,
+                single_period=single_assignment.period,
+            )
+        )
+    return rows
+
+
+def format_table1(rows: list[Table1Row], cores: int = 2) -> str:
+    return format_table(
+        [
+            "task", "app", "surface", "C (ms)", "T_des", "T_max",
+            "HYDRA core", "HYDRA T", "SingleCore T",
+        ],
+        [
+            (
+                r.name,
+                r.application,
+                r.surface,
+                f"{r.wcet:.0f}",
+                f"{r.period_des:.0f}",
+                f"{r.period_max:.0f}",
+                r.hydra_core,
+                f"{r.hydra_period:.0f}",
+                f"{r.single_period:.0f}",
+            )
+            for r in rows
+        ],
+        title=f"Table I — security tasks (UAV platform, {cores} cores)",
+    )

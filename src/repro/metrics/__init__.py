@@ -1,0 +1,32 @@
+"""Evaluation metrics (paper Sec. IV).
+
+* :mod:`repro.metrics.tightness` — Eq. (2)/(3).
+* :mod:`repro.metrics.acceptance` — Fig. 2's acceptance ratio.
+* :mod:`repro.metrics.improvement` — scheme-vs-scheme comparisons.
+* :mod:`repro.metrics.cdf` — Fig. 1's empirical CDF.
+"""
+
+from repro.metrics.acceptance import AcceptanceCounter, acceptance_ratio
+from repro.metrics.cdf import EmpiricalCDF
+from repro.metrics.improvement import (
+    acceptance_improvement,
+    detection_speedup,
+    tightness_gap,
+)
+from repro.metrics.tightness import (
+    cumulative_tightness,
+    tightness,
+    tightness_per_task,
+)
+
+__all__ = [
+    "EmpiricalCDF",
+    "AcceptanceCounter",
+    "acceptance_ratio",
+    "acceptance_improvement",
+    "detection_speedup",
+    "tightness_gap",
+    "tightness",
+    "tightness_per_task",
+    "cumulative_tightness",
+]

@@ -1,0 +1,53 @@
+"""Acceptance ratio — the Fig. 2 metric.
+
+"The acceptance ratio is given by the number of schedulable tasksets
+(e.g., that satisfy all real-time constraints) over the generated ones."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.errors import ValidationError
+
+__all__ = ["AcceptanceCounter", "acceptance_ratio"]
+
+
+def acceptance_ratio(outcomes: Iterable[bool]) -> float:
+    """Fraction of ``True`` among ``outcomes``; 0.0 for an empty input."""
+    total = 0
+    accepted = 0
+    for outcome in outcomes:
+        total += 1
+        accepted += bool(outcome)
+    if total == 0:
+        return 0.0
+    return accepted / total
+
+
+@dataclass
+class AcceptanceCounter:
+    """Streaming accept/reject tally for one (scheme, parameter) cell."""
+
+    accepted: int = 0
+    total: int = 0
+
+    def record(self, schedulable: bool) -> None:
+        self.total += 1
+        if schedulable:
+            self.accepted += 1
+
+    @property
+    def ratio(self) -> float:
+        if self.total == 0:
+            return 0.0
+        return self.accepted / self.total
+
+    def merge(self, other: "AcceptanceCounter") -> "AcceptanceCounter":
+        if other.total < 0:  # pragma: no cover - defensive
+            raise ValidationError("cannot merge a negative counter")
+        return AcceptanceCounter(
+            accepted=self.accepted + other.accepted,
+            total=self.total + other.total,
+        )

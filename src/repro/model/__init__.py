@@ -1,0 +1,55 @@
+"""Task, platform and system models (paper Sec. II).
+
+Public surface:
+
+* :class:`~repro.model.task.RealTimeTask`,
+  :class:`~repro.model.task.SecurityTask`,
+  :class:`~repro.model.task.TaskSet` — the sporadic task models.
+* :class:`~repro.model.platform.Platform` — ``M`` identical cores.
+* :class:`~repro.model.system.Partition` — real-time task → core map.
+* :class:`~repro.model.system.SystemModel` — the allocator input bundle.
+* Priority policies in :mod:`repro.model.priority`.
+"""
+
+from repro.model.platform import Platform
+from repro.model.priority import (
+    assign_rate_monotonic,
+    higher_priority_security,
+    rate_monotonic_order,
+    security_priority_order,
+    weights_by_priority,
+)
+from repro.model.system import Partition, SystemModel
+from repro.model.task import (
+    RealTimeTask,
+    SecurityTask,
+    TaskSet,
+    total_utilization,
+)
+from repro.model.transform import (
+    scale_security_wcets,
+    with_extra_cores,
+    with_period_max,
+    with_security_task,
+    with_security_tasks,
+)
+
+__all__ = [
+    "Platform",
+    "Partition",
+    "SystemModel",
+    "RealTimeTask",
+    "SecurityTask",
+    "TaskSet",
+    "total_utilization",
+    "assign_rate_monotonic",
+    "rate_monotonic_order",
+    "security_priority_order",
+    "higher_priority_security",
+    "weights_by_priority",
+    "scale_security_wcets",
+    "with_security_tasks",
+    "with_security_task",
+    "with_period_max",
+    "with_extra_cores",
+]

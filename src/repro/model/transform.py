@@ -1,0 +1,105 @@
+"""Pure transformations of systems and task sets.
+
+Design-space exploration constantly asks "the same system, but …":
+scaled security load, a stretched period bound, one more core, a
+different real-time partition.  These helpers produce *new* model
+objects (everything in :mod:`repro.model` is immutable) and are shared
+by the advice module, the sensitivity analyses and the test-suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Iterable
+
+from repro.errors import ValidationError
+from repro.model.platform import Platform
+from repro.model.system import Partition, SystemModel
+from repro.model.task import SecurityTask, TaskSet
+
+__all__ = [
+    "scale_security_wcets",
+    "with_security_task",
+    "with_period_max",
+    "with_extra_cores",
+    "with_security_tasks",
+]
+
+
+def with_security_tasks(
+    system: SystemModel, security_tasks: TaskSet | Iterable[SecurityTask]
+) -> SystemModel:
+    """The same platform/partition with a different security workload.
+
+    Weight overrides are kept only for tasks that still exist.
+    """
+    if not isinstance(security_tasks, TaskSet):
+        security_tasks = TaskSet(security_tasks)
+    weights = {
+        name: weight
+        for name, weight in system.weights.items()
+        if name in security_tasks
+    }
+    return SystemModel(
+        platform=system.platform,
+        rt_partition=system.rt_partition,
+        security_tasks=security_tasks,
+        weights=weights,
+    )
+
+
+def scale_security_wcets(system: SystemModel, factor: float) -> SystemModel:
+    """Multiply every security WCET by ``factor``.
+
+    Raises :class:`ValidationError` when the scaling pushes some WCET
+    past its desired period (the task could then never run at the
+    desired rate, even alone).
+    """
+    if factor <= 0:
+        raise ValidationError(f"factor must be positive, got {factor}")
+    scaled = TaskSet(
+        replace(task, wcet=task.wcet * factor)
+        for task in system.security_tasks
+    )
+    return with_security_tasks(system, scaled)
+
+
+def with_security_task(
+    system: SystemModel, task: SecurityTask
+) -> SystemModel:
+    """Replace (by name) or append one security task."""
+    existing = list(system.security_tasks)
+    for i, current in enumerate(existing):
+        if current.name == task.name:
+            existing[i] = task
+            break
+    else:
+        existing.append(task)
+    return with_security_tasks(system, existing)
+
+
+def with_period_max(
+    system: SystemModel, task_name: str, period_max: float
+) -> SystemModel:
+    """The same system with one task's ``T_max`` replaced."""
+    task = system.security_tasks[task_name]
+    return with_security_task(system, replace(task, period_max=period_max))
+
+
+def with_extra_cores(system: SystemModel, count: int = 1) -> SystemModel:
+    """The same system on a platform with ``count`` additional (empty)
+    cores; the real-time partition is unchanged."""
+    if count < 1:
+        raise ValidationError(f"count must be ≥ 1, got {count}")
+    platform = Platform(system.platform.num_cores + count)
+    partition = Partition(
+        platform,
+        system.rt_partition.tasks,
+        system.rt_partition.as_mapping(),
+    )
+    return SystemModel(
+        platform=platform,
+        rt_partition=partition,
+        security_tasks=system.security_tasks,
+        weights=dict(system.weights),
+    )

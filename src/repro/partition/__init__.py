@@ -1,0 +1,19 @@
+"""Real-time task partitioning (paper Sec. II-A and IV-B).
+
+The heuristics live in :mod:`repro.partition.heuristics`; admission
+tests are provided by :mod:`repro.analysis.schedulability`.
+"""
+
+from repro.partition.heuristics import (
+    HEURISTICS,
+    ORDERINGS,
+    partition_tasks,
+    try_partition_tasks,
+)
+
+__all__ = [
+    "HEURISTICS",
+    "ORDERINGS",
+    "partition_tasks",
+    "try_partition_tasks",
+]

@@ -1,0 +1,158 @@
+"""Multicore partitioning heuristics for the real-time tasks.
+
+The paper assumes the real-time tasks "are schedulable and assigned to
+the cores using [an] existing multicore task partitioning algorithm"
+[Davis & Burns survey]; its experiments partition with **best-fit**
+(Sec. IV-B).  This module implements the four classic bin-packing
+heuristics over an arbitrary admission test:
+
+========  ==========================================================
+first-fit place on the lowest-indexed core that admits the task
+best-fit  place on the admitting core with the *least* remaining
+          utilisation (pack tightly, keep cores free)
+worst-fit place on the admitting core with the *most* remaining
+          utilisation (spread load)
+next-fit  keep a moving pointer, never revisit earlier cores
+========  ==========================================================
+
+Tasks are considered in a configurable order (decreasing utilisation by
+default, the standard bin-packing choice; rate-monotonic and input order
+are also available).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.analysis.schedulability import AdmissionTest, get_admission_test
+from repro.errors import PartitioningError
+from repro.model.platform import Platform
+from repro.model.system import Partition
+from repro.model.task import RealTimeTask, TaskSet
+
+__all__ = [
+    "partition_tasks",
+    "try_partition_tasks",
+    "HEURISTICS",
+    "ORDERINGS",
+]
+
+#: Known placement heuristics.
+HEURISTICS = ("first-fit", "best-fit", "worst-fit", "next-fit")
+
+#: Known task orderings.
+ORDERINGS = ("utilization", "rm", "input")
+
+
+def _ordered_tasks(
+    tasks: Sequence[RealTimeTask], ordering: str
+) -> list[RealTimeTask]:
+    if ordering == "utilization":
+        return sorted(tasks, key=lambda t: (-t.utilization, t.name))
+    if ordering == "rm":
+        return sorted(tasks, key=lambda t: (t.period, -t.wcet, t.name))
+    if ordering == "input":
+        return list(tasks)
+    raise ValueError(
+        f"unknown ordering {ordering!r}; expected one of {ORDERINGS}"
+    )
+
+
+def try_partition_tasks(
+    tasks: Iterable[RealTimeTask],
+    platform: Platform,
+    heuristic: str = "best-fit",
+    admission: str | AdmissionTest = "rta",
+    ordering: str = "utilization",
+) -> Partition | None:
+    """Partition ``tasks`` onto ``platform``; ``None`` if the heuristic
+    fails to place some task.
+
+    Parameters
+    ----------
+    tasks:
+        The real-time tasks to place.
+    platform:
+        Target platform.
+    heuristic:
+        One of :data:`HEURISTICS`.
+    admission:
+        Admission test name (see
+        :func:`repro.analysis.schedulability.get_admission_test`) or a
+        callable ``Sequence[RealTimeTask] -> bool``.
+    ordering:
+        One of :data:`ORDERINGS`; order in which tasks are placed.
+    """
+    if heuristic not in HEURISTICS:
+        raise ValueError(
+            f"unknown heuristic {heuristic!r}; expected one of {HEURISTICS}"
+        )
+    test: AdmissionTest = (
+        get_admission_test(admission) if isinstance(admission, str) else admission
+    )
+    task_list = list(tasks)
+    ordered = _ordered_tasks(task_list, ordering)
+
+    per_core: dict[int, list[RealTimeTask]] = {m: [] for m in platform}
+    assignment: dict[str, int] = {}
+    next_fit_pointer = 0
+
+    def admits(core: int, task: RealTimeTask) -> bool:
+        return test([*per_core[core], task])
+
+    for task in ordered:
+        candidates = []
+        if heuristic == "next-fit":
+            core = next_fit_pointer
+            while core < platform.num_cores and not admits(core, task):
+                core += 1
+            if core >= platform.num_cores:
+                return None
+            next_fit_pointer = core
+            candidates = [core]
+        else:
+            candidates = [m for m in platform if admits(m, task)]
+            if not candidates:
+                return None
+            if heuristic == "best-fit":
+                candidates.sort(
+                    key=lambda m: (
+                        -sum(t.utilization for t in per_core[m]),
+                        m,
+                    )
+                )
+            elif heuristic == "worst-fit":
+                candidates.sort(
+                    key=lambda m: (
+                        sum(t.utilization for t in per_core[m]),
+                        m,
+                    )
+                )
+            # first-fit: keep core-index order.
+        chosen = candidates[0]
+        per_core[chosen].append(task)
+        assignment[task.name] = chosen
+
+    return Partition(platform, TaskSet(task_list), assignment)
+
+
+def partition_tasks(
+    tasks: Iterable[RealTimeTask],
+    platform: Platform,
+    heuristic: str = "best-fit",
+    admission: str | AdmissionTest = "rta",
+    ordering: str = "utilization",
+) -> Partition:
+    """Like :func:`try_partition_tasks` but raising
+    :class:`~repro.errors.PartitioningError` on failure."""
+    task_list = list(tasks)
+    partition = try_partition_tasks(
+        task_list, platform, heuristic=heuristic, admission=admission,
+        ordering=ordering,
+    )
+    if partition is None:
+        raise PartitioningError(
+            f"{heuristic} failed to partition {len(task_list)} real-time "
+            f"tasks onto {platform.num_cores} cores"
+        )
+    return partition

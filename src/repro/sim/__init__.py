@@ -1,0 +1,45 @@
+"""Discrete-event scheduling simulator (the Fig. 1 substrate).
+
+* :mod:`repro.sim.engine` — the multicore fixed-priority engine.
+* :mod:`repro.sim.runner` — system+allocation → simulation bridge.
+* :mod:`repro.sim.attacks` / :mod:`repro.sim.detection` — attack
+  injection and detection-time measurement.
+* :mod:`repro.sim.trace` — trace utilities (merge, Gantt).
+"""
+
+from repro.sim.attacks import Attack, sample_attacks, surfaces_of
+from repro.sim.detection import (
+    DETECTION_POLICIES,
+    build_surface_map,
+    detection_time,
+    detection_times,
+)
+from repro.sim.engine import SimResult, SimTask, Simulator
+from repro.sim.events import DeadlineMiss, ExecutionSlice, JobRecord
+from repro.sim.runner import build_sim_tasks, simulate_allocation
+from repro.sim.stats import ResponseStats, all_response_stats, response_stats
+from repro.sim.trace import ascii_gantt, busy_time_by_task, merge_slices
+
+__all__ = [
+    "SimTask",
+    "Simulator",
+    "SimResult",
+    "JobRecord",
+    "ExecutionSlice",
+    "DeadlineMiss",
+    "build_sim_tasks",
+    "simulate_allocation",
+    "Attack",
+    "sample_attacks",
+    "surfaces_of",
+    "build_surface_map",
+    "detection_time",
+    "detection_times",
+    "DETECTION_POLICIES",
+    "ascii_gantt",
+    "busy_time_by_task",
+    "merge_slices",
+    "ResponseStats",
+    "response_stats",
+    "all_response_stats",
+]

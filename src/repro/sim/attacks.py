@@ -1,0 +1,75 @@
+"""Attack injection model (paper Sec. IV-A).
+
+The paper's case study "triggered synthetic attacks (e.g., that corrupts
+the file system and network packets)" at random times during each trial
+and measured how long the matching security task took to notice.  An
+:class:`Attack` is therefore just a timestamp plus the attack surface it
+compromises; detection semantics live in :mod:`repro.sim.detection`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.model.task import SecurityTask, TaskSet
+
+__all__ = ["Attack", "sample_attacks", "surfaces_of"]
+
+
+@dataclass(frozen=True, slots=True)
+class Attack:
+    """A synthetic intrusion compromising one attack surface at ``time``."""
+
+    time: float
+    surface: str
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValidationError(f"attack time must be ≥ 0, got {self.time}")
+        if not self.surface:
+            raise ValidationError("attack surface must be a non-empty label")
+
+
+def surfaces_of(security_tasks: TaskSet | Sequence[SecurityTask]) -> list[str]:
+    """The distinct monitored surfaces, in task order.
+
+    Tasks without a ``surface`` label are skipped (they cannot detect a
+    surface-tagged attack).
+    """
+    seen: list[str] = []
+    for task in security_tasks:
+        if task.surface and task.surface not in seen:
+            seen.append(task.surface)
+    return seen
+
+
+def sample_attacks(
+    count: int,
+    window: tuple[float, float],
+    surfaces: Sequence[str],
+    rng: np.random.Generator | int | None = None,
+) -> list[Attack]:
+    """Draw ``count`` attacks uniformly over ``window`` and ``surfaces``.
+
+    Mirrors the paper's methodology: one attack per trial at a uniformly
+    random instant, against a randomly chosen surface.
+    """
+    if count < 0:
+        raise ValidationError(f"count must be ≥ 0, got {count}")
+    lo, hi = window
+    if not (0 <= lo < hi):
+        raise ValidationError(f"invalid attack window {window!r}")
+    if not surfaces:
+        raise ValidationError("need at least one attack surface")
+    if isinstance(rng, (int, np.integer)) or rng is None:
+        rng = np.random.default_rng(rng)
+    times = rng.uniform(lo, hi, size=count)
+    picks = rng.integers(0, len(surfaces), size=count)
+    return [
+        Attack(time=float(t), surface=surfaces[int(k)])
+        for t, k in zip(times, picks)
+    ]

@@ -1,0 +1,91 @@
+"""Intrusion detection-time measurement (paper Sec. IV-A, Fig. 1).
+
+The paper assumes "intrusions are correctly detected by the security
+tasks (e.g., there is no false positive/negative errors)": an attack on
+surface σ is noticed by the first sufficiently-fresh job of a security
+task monitoring σ.  Two freshness policies are provided:
+
+* ``"release-after"`` (default): the detecting job must have been
+  *released* at or after the attack instant — the conservative reading
+  (a check that was already queued may have captured pre-attack state).
+* ``"start-after"``: the job must have *started executing* after the
+  attack; slightly more optimistic (a queued-but-not-started check scans
+  the compromised state).
+
+Detection time is the detecting job's completion minus the attack time;
+``inf`` when no qualifying job completes inside the simulated horizon.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping, Sequence
+
+from repro.errors import ValidationError
+from repro.model.task import SecurityTask, TaskSet
+from repro.sim.attacks import Attack
+from repro.sim.engine import SimResult
+
+__all__ = [
+    "build_surface_map",
+    "detection_time",
+    "detection_times",
+    "DETECTION_POLICIES",
+]
+
+DETECTION_POLICIES = ("release-after", "start-after")
+
+
+def build_surface_map(
+    security_tasks: TaskSet | Iterable[SecurityTask],
+) -> dict[str, list[str]]:
+    """surface → names of security tasks that monitor it."""
+    result: dict[str, list[str]] = {}
+    for task in security_tasks:
+        if task.surface:
+            result.setdefault(task.surface, []).append(task.name)
+    return result
+
+
+def detection_time(
+    result: SimResult,
+    attack: Attack,
+    surface_map: Mapping[str, Sequence[str]],
+    policy: str = "release-after",
+) -> float:
+    """Time from ``attack`` to its detection in ``result`` (or ``inf``)."""
+    if policy not in DETECTION_POLICIES:
+        raise ValidationError(
+            f"unknown detection policy {policy!r}; expected one of "
+            f"{DETECTION_POLICIES}"
+        )
+    monitors = surface_map.get(attack.surface, ())
+    if not monitors:
+        return math.inf
+    monitor_set = set(monitors)
+    best = math.inf
+    for job in result.jobs:
+        if job.task not in monitor_set or job.completion is None:
+            continue
+        anchor = job.release if policy == "release-after" else job.start
+        if anchor is None:
+            continue
+        if anchor >= attack.time - 1e-9 and job.completion < best:
+            best = job.completion
+    if math.isinf(best):
+        return math.inf
+    return best - attack.time
+
+
+def detection_times(
+    result: SimResult,
+    attacks: Iterable[Attack],
+    security_tasks: TaskSet | Iterable[SecurityTask],
+    policy: str = "release-after",
+) -> list[float]:
+    """Detection time of every attack against one simulation run."""
+    surface_map = build_surface_map(security_tasks)
+    return [
+        detection_time(result, attack, surface_map, policy=policy)
+        for attack in attacks
+    ]

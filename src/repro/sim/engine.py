@@ -1,0 +1,421 @@
+"""Discrete-event simulator for partitioned fixed-priority preemptive
+scheduling.
+
+This is the substrate standing in for the paper's ARM/Xenomai testbed
+(DESIGN §5): it reproduces the *scheduling-level* behaviour — which job
+runs when on which core — that the Fig. 1 detection-time experiment
+measures.  Supported features:
+
+* M cores, partitioned tasks (each bound to one core) with distinct
+  fixed priorities, fully preemptive (the paper's model);
+* periodic or sporadic releases (per-task release jitter: inter-arrival
+  drawn uniformly from ``[T, (1+jitter)·T]``);
+* optional **non-preemptive** tasks (paper §V extension);
+* optional **precedence constraints** between tasks (paper §V): a job
+  may only start once every predecessor task has completed a job no
+  older than the job's own release ("check the checker first");
+* optional **migrating** tasks (``core=None``) scheduled globally on any
+  idle core (paper §V's global-scheduling direction).
+
+The engine advances from event to event (releases and completions); in
+between, each core runs the highest-priority eligible job.  Output is a
+list of :class:`~repro.sim.events.JobRecord` plus optional execution
+slices and per-core busy-time accounting, which the tests use to check
+conservation laws.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import SimulationError, ValidationError
+from repro.sim.events import DeadlineMiss, ExecutionSlice, JobRecord
+
+__all__ = ["SimTask", "SimResult", "Simulator"]
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True, slots=True)
+class SimTask:
+    """A task as seen by the simulator.
+
+    ``priority``: smaller is higher; must be unique across tasks.
+    ``core``: the hosting core, or ``None`` for a migrating task that may
+    run on any core.  ``release_jitter``: sporadic slack as a fraction of
+    the period (0 = strictly periodic).  ``predecessors``: names of tasks
+    whose fresh completion must precede each job's start.
+    """
+
+    name: str
+    wcet: float
+    period: float
+    priority: int
+    core: int | None
+    deadline: float | None = None
+    kind: str = "rt"
+    surface: str | None = None
+    preemptible: bool = True
+    predecessors: tuple[str, ...] = ()
+    release_jitter: float = 0.0
+    offset: float = 0.0
+    #: Lower bound of the actual execution time as a fraction of the
+    #: WCET; each job draws uniformly from [factor·C, C].  1.0 (default)
+    #: reproduces the worst-case-everywhere model of the analysis.
+    execution_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.wcet <= 0 or self.period <= 0:
+            raise ValidationError(
+                f"sim task {self.name!r}: wcet and period must be positive"
+            )
+        if self.deadline is None:
+            object.__setattr__(self, "deadline", self.period)
+        if self.kind not in ("rt", "security"):
+            raise ValidationError(
+                f"sim task {self.name!r}: kind must be 'rt' or 'security'"
+            )
+        if self.release_jitter < 0:
+            raise ValidationError(
+                f"sim task {self.name!r}: release_jitter must be ≥ 0"
+            )
+        if self.offset < 0:
+            raise ValidationError(
+                f"sim task {self.name!r}: offset must be ≥ 0"
+            )
+        if not (0.0 < self.execution_factor <= 1.0):
+            raise ValidationError(
+                f"sim task {self.name!r}: execution_factor must lie in "
+                f"(0, 1], got {self.execution_factor}"
+            )
+
+
+class _Job:
+    """Mutable in-flight job state."""
+
+    __slots__ = (
+        "task_id", "release", "deadline", "remaining", "start", "core", "seq"
+    )
+
+    def __init__(
+        self, task_id: int, release: float, deadline: float, wcet: float,
+        seq: int,
+    ) -> None:
+        self.task_id = task_id
+        self.release = release
+        self.deadline = deadline
+        self.remaining = wcet
+        self.start: float | None = None
+        self.core: int | None = None
+        self.seq = seq
+
+
+@dataclass
+class SimResult:
+    """Everything observable about one simulation run."""
+
+    duration: float
+    jobs: list[JobRecord]
+    misses: list[DeadlineMiss]
+    busy_time: dict[int, float]
+    slices: list[ExecutionSlice] = field(default_factory=list)
+
+    def jobs_of(self, task: str) -> list[JobRecord]:
+        """All job records of ``task``, in release order."""
+        return [job for job in self.jobs if job.task == task]
+
+    def completed_jobs_of(self, task: str) -> list[JobRecord]:
+        """Finished jobs of ``task``, in release order."""
+        return [job for job in self.jobs if job.task == task and job.finished]
+
+    def utilization_of_core(self, core: int) -> float:
+        """Fraction of the simulated window the core was busy."""
+        if self.duration <= 0:
+            return 0.0
+        return self.busy_time.get(core, 0.0) / self.duration
+
+    @property
+    def missed_any_deadline(self) -> bool:
+        return bool(self.misses)
+
+
+class Simulator:
+    """Event-driven multicore fixed-priority scheduler simulator."""
+
+    def __init__(
+        self,
+        tasks: Iterable[SimTask],
+        num_cores: int,
+        duration: float,
+        rng: np.random.Generator | int | None = None,
+        collect_slices: bool = False,
+    ) -> None:
+        self.tasks: tuple[SimTask, ...] = tuple(tasks)
+        if num_cores < 1:
+            raise ValidationError("need at least one core")
+        if duration <= 0:
+            raise ValidationError("duration must be positive")
+        self.num_cores = num_cores
+        self.duration = float(duration)
+        self.collect_slices = collect_slices
+        if isinstance(rng, (int, np.integer)) or rng is None:
+            rng = np.random.default_rng(rng)
+        self._rng = rng
+
+        names = [t.name for t in self.tasks]
+        if len(set(names)) != len(names):
+            raise ValidationError("duplicate simulator task names")
+        priorities = [t.priority for t in self.tasks]
+        if len(set(priorities)) != len(priorities):
+            raise ValidationError("simulator priorities must be distinct")
+        self._index = {t.name: i for i, t in enumerate(self.tasks)}
+        for t in self.tasks:
+            if t.core is not None and not (0 <= t.core < num_cores):
+                raise ValidationError(
+                    f"task {t.name!r} bound to invalid core {t.core}"
+                )
+            for pred in t.predecessors:
+                if pred not in self._index:
+                    raise ValidationError(
+                        f"task {t.name!r} depends on unknown task {pred!r}"
+                    )
+
+    # -- release pattern ---------------------------------------------------
+
+    def _next_interval(self, task: SimTask) -> float:
+        if task.release_jitter <= 0.0:
+            return task.period
+        return task.period * (
+            1.0 + float(self._rng.uniform(0.0, task.release_jitter))
+        )
+
+    def _execution_time(self, task: SimTask) -> float:
+        if task.execution_factor >= 1.0:
+            return task.wcet
+        return task.wcet * float(
+            self._rng.uniform(task.execution_factor, 1.0)
+        )
+
+    # -- main loop -----------------------------------------------------------
+
+    def run(self) -> SimResult:
+        tasks = self.tasks
+        num_cores = self.num_cores
+        duration = self.duration
+
+        release_heap: list[tuple[float, int, int]] = []  # (time, seq, task)
+        seq = 0
+        for i, task in enumerate(tasks):
+            heapq.heappush(release_heap, (task.offset, seq, i))
+            seq += 1
+
+        ready_bound: list[list[_Job]] = [[] for _ in range(num_cores)]
+        ready_global: list[_Job] = []
+        running: list[_Job | None] = [None] * num_cores
+        last_completion = [-math.inf] * len(tasks)
+
+        jobs_out: list[JobRecord] = []
+        misses: list[DeadlineMiss] = []
+        busy = {m: 0.0 for m in range(num_cores)}
+        slices: list[ExecutionSlice] = []
+        live_jobs: list[_Job] = []
+
+        def eligible(job: _Job) -> bool:
+            preds = tasks[job.task_id].predecessors
+            if not preds:
+                return True
+            return all(
+                last_completion[self._index[p]] >= job.release - _EPS
+                for p in preds
+            )
+
+        now = 0.0
+        guard = 0
+        max_iterations = 4_000_000
+        while now < duration - _EPS:
+            guard += 1
+            if guard > max_iterations:
+                raise SimulationError(
+                    "event budget exceeded; workload far too dense for the "
+                    "simulated horizon"
+                )
+            # 1. releases due now ------------------------------------------
+            while release_heap and release_heap[0][0] <= now + _EPS:
+                rel_time, _, i = heapq.heappop(release_heap)
+                task = tasks[i]
+                job = _Job(
+                    i,
+                    rel_time,
+                    rel_time + task.deadline,
+                    self._execution_time(task),
+                    seq,
+                )
+                seq += 1
+                live_jobs.append(job)
+                if task.core is None:
+                    ready_global.append(job)
+                else:
+                    ready_bound[task.core].append(job)
+                nxt = rel_time + self._next_interval(task)
+                if nxt < duration:
+                    heapq.heappush(release_heap, (nxt, seq, i))
+                    seq += 1
+
+            # 2. scheduling decision per core -------------------------------
+            # A task is a single flow of control: when a job outlives its
+            # period (overload) the successor must wait for it, so only
+            # the earliest live job of each task is dispatchable.  Bound
+            # tasks get this for free (same core, seq-ordered ties);
+            # migrating tasks need the explicit filter or two cores could
+            # run two jobs of one task concurrently.
+            earliest_live: dict[int, int] = {}
+            for job in live_jobs:
+                seen = earliest_live.get(job.task_id)
+                if seen is None or job.seq < seen:
+                    earliest_live[job.task_id] = job.seq
+            for m in range(num_cores):
+                current = running[m]
+                if (
+                    current is not None
+                    and not tasks[current.task_id].preemptible
+                    and current.remaining > _EPS
+                ):
+                    continue  # non-preemptible job keeps the core
+                # Highest-priority eligible bound job on this core;
+                # include the currently running job as a candidate.
+                candidates: list[_Job] = [
+                    j for j in ready_bound[m] if eligible(j)
+                ]
+                if current is not None:
+                    candidates.append(current)
+                best: _Job | None = None
+                if candidates:
+                    best = min(
+                        candidates,
+                        key=lambda j: (tasks[j.task_id].priority, j.seq),
+                    )
+                # A migrating job may take the core if it beats ``best``
+                # (chosen jobs are removed from the pool immediately, so
+                # two cores can never grab the same job in one pass).
+                global_candidates = [
+                    j
+                    for j in ready_global
+                    if eligible(j) and earliest_live[j.task_id] == j.seq
+                ]
+                global_best: _Job | None = None
+                if global_candidates:
+                    global_best = min(
+                        global_candidates,
+                        key=lambda j: (tasks[j.task_id].priority, j.seq),
+                    )
+                chosen = best
+                if global_best is not None and (
+                    best is None
+                    or tasks[global_best.task_id].priority
+                    < tasks[best.task_id].priority
+                ):
+                    chosen = global_best
+                if chosen is current:
+                    continue
+                # Preempt the incumbent back to its ready pool.
+                if current is not None:
+                    if tasks[current.task_id].core is None:
+                        ready_global.append(current)
+                    else:
+                        ready_bound[m].append(current)
+                running[m] = chosen
+                if chosen is not None:
+                    if chosen is global_best:
+                        ready_global.remove(chosen)
+                    else:
+                        ready_bound[m].remove(chosen)
+                    chosen.core = m
+                    if chosen.start is None:
+                        chosen.start = now
+
+            # 3. next event time --------------------------------------------
+            horizon = duration
+            if release_heap:
+                horizon = min(horizon, release_heap[0][0])
+            for m in range(num_cores):
+                job = running[m]
+                if job is not None:
+                    horizon = min(horizon, now + job.remaining)
+            if horizon <= now + _EPS:
+                horizon = now + _EPS  # numerical nudge; completions fire below
+
+            # 4. advance ------------------------------------------------------
+            dt = horizon - now
+            for m in range(num_cores):
+                job = running[m]
+                if job is None:
+                    continue
+                busy[m] += dt
+                if self.collect_slices:
+                    slices.append(
+                        ExecutionSlice(
+                            task=tasks[job.task_id].name,
+                            core=m,
+                            start=now,
+                            end=horizon,
+                        )
+                    )
+                job.remaining -= dt
+                if job.remaining <= _EPS:
+                    last_completion[job.task_id] = horizon
+                    jobs_out.append(
+                        JobRecord(
+                            task=tasks[job.task_id].name,
+                            release=job.release,
+                            deadline=job.deadline,
+                            start=job.start,
+                            completion=horizon,
+                            core=m,
+                        )
+                    )
+                    if horizon > job.deadline + 1e-6:
+                        misses.append(
+                            DeadlineMiss(
+                                task=tasks[job.task_id].name,
+                                release=job.release,
+                                deadline=job.deadline,
+                            )
+                        )
+                    live_jobs.remove(job)
+                    running[m] = None
+            now = horizon
+
+        # Jobs still unfinished at the horizon.
+        for job in live_jobs:
+            jobs_out.append(
+                JobRecord(
+                    task=tasks[job.task_id].name,
+                    release=job.release,
+                    deadline=job.deadline,
+                    start=job.start,
+                    completion=None,
+                    core=job.core,
+                )
+            )
+            if job.deadline < duration - 1e-6:
+                misses.append(
+                    DeadlineMiss(
+                        task=tasks[job.task_id].name,
+                        release=job.release,
+                        deadline=job.deadline,
+                    )
+                )
+
+        jobs_out.sort(key=lambda j: (j.release, j.task))
+        return SimResult(
+            duration=duration,
+            jobs=jobs_out,
+            misses=misses,
+            busy_time=busy,
+            slices=slices,
+        )

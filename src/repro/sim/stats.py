@@ -1,0 +1,78 @@
+"""Response-time statistics over simulation results.
+
+Bridges the simulator back to the analysis: per-task observed
+response-time distributions, which the tests compare against analytic
+worst-case bounds (observed ≤ bound must always hold for admitted
+systems — a strong end-to-end consistency check) and which the examples
+use for reporting.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.sim.engine import SimResult
+
+__all__ = ["ResponseStats", "response_stats", "all_response_stats"]
+
+
+@dataclass(frozen=True, slots=True)
+class ResponseStats:
+    """Observed response-time summary of one task."""
+
+    task: str
+    jobs: int
+    unfinished: int
+    best: float
+    worst: float
+    mean: float
+
+    @property
+    def observed_all(self) -> bool:
+        """Whether every released job completed inside the horizon."""
+        return self.unfinished == 0
+
+
+def response_stats(result: SimResult, task: str) -> ResponseStats:
+    """Summarise the response times of ``task`` in ``result``.
+
+    Jobs still running at the simulation horizon are counted in
+    ``unfinished`` and excluded from the min/max/mean (their eventual
+    response time is unknown, not infinite).
+    """
+    responses: list[float] = []
+    unfinished = 0
+    total = 0
+    for job in result.jobs_of(task):
+        total += 1
+        if job.response_time is None:
+            unfinished += 1
+        else:
+            responses.append(job.response_time)
+    if not responses:
+        return ResponseStats(
+            task=task,
+            jobs=total,
+            unfinished=unfinished,
+            best=math.inf,
+            worst=math.inf,
+            mean=math.inf,
+        )
+    return ResponseStats(
+        task=task,
+        jobs=total,
+        unfinished=unfinished,
+        best=min(responses),
+        worst=max(responses),
+        mean=sum(responses) / len(responses),
+    )
+
+
+def all_response_stats(result: SimResult) -> dict[str, ResponseStats]:
+    """:func:`response_stats` for every task appearing in ``result``."""
+    names: list[str] = []
+    for job in result.jobs:
+        if job.task not in names:
+            names.append(job.task)
+    return {name: response_stats(result, name) for name in names}

@@ -1,0 +1,60 @@
+"""Unit tests for hyperperiod utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.hyperperiod import hyperperiod, recommended_horizon
+from repro.errors import ValidationError
+
+
+class TestHyperperiod:
+    def test_integer_periods(self):
+        assert hyperperiod([4.0, 6.0], resolution=1.0) == 12.0
+
+    def test_harmonic_periods(self):
+        assert hyperperiod([10.0, 20.0, 40.0], resolution=1.0) == 40.0
+
+    def test_single_period(self):
+        assert hyperperiod([7.0], resolution=1.0) == 7.0
+
+    def test_fractional_resolution(self):
+        assert hyperperiod([0.4, 0.6], resolution=0.1) == pytest.approx(1.2)
+
+    def test_coprime_periods_blow_up(self):
+        assert hyperperiod([7.0, 11.0, 13.0], resolution=1.0) == 1001.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            hyperperiod([])
+
+    def test_nonpositive_period_rejected(self):
+        with pytest.raises(ValidationError):
+            hyperperiod([5.0, 0.0])
+
+    def test_bad_resolution_rejected(self):
+        with pytest.raises(ValidationError):
+            hyperperiod([5.0], resolution=0.0)
+
+    def test_result_is_multiple_of_each_period(self):
+        periods = [12.0, 18.0, 30.0]
+        h = hyperperiod(periods, resolution=1.0)
+        for p in periods:
+            assert (h / p) == pytest.approx(round(h / p))
+
+
+class TestRecommendedHorizon:
+    def test_small_hyperperiod_used_directly(self):
+        assert recommended_horizon([4.0, 6.0], resolution=1.0) == 12.0
+
+    def test_capped_for_non_harmonic_sets(self):
+        horizon = recommended_horizon(
+            [9.7, 11.3, 13.9], resolution=1e-3, cap_factor=100.0
+        )
+        assert horizon == pytest.approx(1390.0)
+
+    def test_cap_factor_scales(self):
+        horizon = recommended_horizon(
+            [9.7, 11.3], resolution=1e-3, cap_factor=10.0
+        )
+        assert horizon == pytest.approx(113.0)

@@ -1,0 +1,125 @@
+"""Unit tests for the Eq. (5) linearised interference bound."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.interference import (
+    Interferer,
+    InterferenceEnv,
+    linear_bound_met,
+    linear_interference,
+    min_feasible_period,
+)
+from repro.errors import ValidationError
+from repro.model.task import RealTimeTask, SecurityTask
+
+
+def rt(wcet: float, period: float, name: str = "r") -> RealTimeTask:
+    return RealTimeTask(name=name, wcet=wcet, period=period)
+
+
+def sec(wcet: float = 5.0, tdes: float = 100.0, tmax: float = 1000.0,
+        name: str = "s") -> SecurityTask:
+    return SecurityTask(
+        name=name, wcet=wcet, period_des=tdes, period_max=tmax
+    )
+
+
+class TestInterferer:
+    def test_from_rt(self):
+        i = Interferer.from_rt(rt(2.0, 10.0))
+        assert (i.wcet, i.period) == (2.0, 10.0)
+        assert i.utilization == pytest.approx(0.2)
+
+    def test_from_security_uses_assigned_period(self):
+        i = Interferer.from_security(sec(wcet=5.0), 250.0)
+        assert i.period == 250.0
+        assert i.utilization == pytest.approx(0.02)
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValidationError):
+            Interferer(0.0, 10.0)
+        with pytest.raises(ValidationError):
+            Interferer(1.0, -1.0)
+
+
+class TestInterferenceEnv:
+    def test_aggregates(self):
+        env = InterferenceEnv(
+            [Interferer(2.0, 10.0), Interferer(3.0, 30.0)]
+        )
+        assert env.total_wcet == pytest.approx(5.0)
+        assert env.utilization == pytest.approx(0.2 + 0.1)
+        assert len(env) == 2
+
+    def test_empty_env(self):
+        env = InterferenceEnv()
+        assert env.total_wcet == 0.0
+        assert env.utilization == 0.0
+        assert env.interference(123.0) == 0.0
+
+    def test_interference_formula_matches_paper(self):
+        # Eq. (5): Σ (1 + Ts/Tr)·Cr expanded = ΣCr + Ts·ΣCr/Tr.
+        env = InterferenceEnv([Interferer(2.0, 10.0)])
+        ts = 50.0
+        expected = (1 + ts / 10.0) * 2.0
+        assert env.interference(ts) == pytest.approx(expected)
+
+    def test_interference_rejects_nonpositive_window(self):
+        env = InterferenceEnv([Interferer(2.0, 10.0)])
+        with pytest.raises(ValidationError):
+            env.interference(0.0)
+
+    def test_on_core_combines_rt_and_security(self):
+        env = InterferenceEnv.on_core(
+            [rt(2.0, 10.0)], [(sec(wcet=5.0), 200.0)]
+        )
+        assert env.total_wcet == pytest.approx(7.0)
+        assert env.utilization == pytest.approx(0.2 + 0.025)
+
+    def test_extended(self):
+        env = InterferenceEnv([Interferer(2.0, 10.0)])
+        bigger = env.extended([Interferer(1.0, 10.0)])
+        assert bigger.total_wcet == pytest.approx(3.0)
+        assert env.total_wcet == pytest.approx(2.0)
+
+
+class TestLinearHelpers:
+    def test_linear_interference_convenience(self):
+        direct = linear_interference(50.0, [rt(2.0, 10.0)])
+        env = InterferenceEnv.on_core([rt(2.0, 10.0)])
+        assert direct == pytest.approx(env.interference(50.0))
+
+    def test_linear_bound_met_true_and_false(self):
+        env = InterferenceEnv.on_core([rt(5.0, 10.0)])  # U = .5
+        task = sec(wcet=10.0, tdes=100.0, tmax=1000.0)
+        # At T = 100: 10 + (5 + .5*100) = 65 ≤ 100 → met.
+        assert linear_bound_met(task, 100.0, env)
+        # At T = 20: 10 + (5 + 10) = 25 > 20 → not met.
+        assert not linear_bound_met(task, 20.0, env)
+
+    def test_min_feasible_period_formula(self):
+        env = InterferenceEnv.on_core([rt(5.0, 10.0)])
+        task = sec(wcet=10.0)
+        # (Cs + K') / (1 − U) = 15 / 0.5 = 30.
+        assert min_feasible_period(task, env) == pytest.approx(30.0)
+
+    def test_min_feasible_period_saturated_core(self):
+        env = InterferenceEnv.on_core([rt(10.0, 10.0)])  # U = 1
+        assert min_feasible_period(sec(), env) == math.inf
+
+    def test_min_feasible_period_idle_core(self):
+        env = InterferenceEnv()
+        task = sec(wcet=7.0)
+        assert min_feasible_period(task, env) == pytest.approx(7.0)
+
+    def test_min_feasible_satisfies_bound_exactly(self):
+        env = InterferenceEnv.on_core(
+            [rt(3.0, 17.0), rt(2.0, 29.0)]
+        )
+        task = sec(wcet=4.0)
+        t_min = min_feasible_period(task, env)
+        assert task.wcet + env.interference(t_min) == pytest.approx(t_min)

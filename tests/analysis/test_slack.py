@@ -1,0 +1,51 @@
+"""Unit tests for per-core slack accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.interference import Interferer, InterferenceEnv
+from repro.analysis.slack import CoreSlack, core_slack, partition_slack
+from repro.model.platform import Platform
+from repro.model.system import Partition
+from repro.model.task import RealTimeTask, TaskSet
+
+
+@pytest.fixture
+def partition() -> Partition:
+    platform = Platform(2)
+    tasks = TaskSet(
+        [
+            RealTimeTask(name="a", wcet=3.0, period=10.0),
+            RealTimeTask(name="b", wcet=2.0, period=10.0),
+        ]
+    )
+    return Partition(platform, tasks, {"a": 0, "b": 0})
+
+
+class TestCoreSlack:
+    def test_slack_value(self):
+        slack = CoreSlack(core=0, rt_utilization=0.3,
+                          security_utilization=0.2)
+        assert slack.total_utilization == pytest.approx(0.5)
+        assert slack.slack == pytest.approx(0.5)
+
+    def test_slack_clamped_at_zero(self):
+        slack = CoreSlack(core=0, rt_utilization=0.9,
+                          security_utilization=0.3)
+        assert slack.slack == 0.0
+
+    def test_core_slack_from_partition(self, partition):
+        assert core_slack(partition, 0).slack == pytest.approx(0.5)
+        assert core_slack(partition, 1).slack == pytest.approx(1.0)
+
+    def test_core_slack_with_security_env(self, partition):
+        env = InterferenceEnv([Interferer(10.0, 100.0)])
+        slack = core_slack(partition, 0, security_env=env)
+        assert slack.security_utilization == pytest.approx(0.1)
+        assert slack.slack == pytest.approx(0.4)
+
+    def test_partition_slack_covers_all_cores(self, partition):
+        slacks = partition_slack(partition)
+        assert [s.core for s in slacks] == [0, 1]
+        assert slacks[1].rt_utilization == 0.0

@@ -1,0 +1,186 @@
+"""Unit tests for the designer-advice module."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.advice import diagnose, max_security_scale
+from repro.core.hydra import HydraAllocator
+from repro.model import (
+    Partition,
+    Platform,
+    RealTimeTask,
+    SecurityTask,
+    SystemModel,
+    TaskSet,
+)
+
+
+def tight_system(cores: int = 1) -> SystemModel:
+    """A system where the (single) security task cannot fit: the core
+    is 90 % loaded and T_max is too close to T_des."""
+    platform = Platform(cores)
+    rt = TaskSet([RealTimeTask(name="r", wcet=9.0, period=10.0)])
+    mapping = {"r": 0}
+    security = TaskSet(
+        [
+            SecurityTask(
+                name="s", wcet=5.0, period_des=50.0, period_max=80.0
+            )
+        ]
+    )
+    return SystemModel(
+        platform=platform,
+        rt_partition=Partition(platform, rt, mapping),
+        security_tasks=security,
+    )
+
+
+class TestDiagnose:
+    def test_schedulable_system_reports_clean(self, two_core_system):
+        report = diagnose(two_core_system)
+        assert report.schedulable
+        assert report.hints == ()
+        assert "no design changes" in report.format()
+
+    def test_unschedulable_names_failed_task(self):
+        report = diagnose(tight_system())
+        assert not report.schedulable
+        assert report.failed_task == "s"
+        assert "Unschedulable" in report.format()
+
+    def test_stretch_hint_is_sufficient(self):
+        system = tight_system()
+        report = diagnose(system)
+        stretch = next(
+            h for h in report.hints if h.kind == "stretch-period-max"
+        )
+        # (5 + 9)/(1 − .9) = 140 > current 80.
+        assert stretch.required == pytest.approx(140.0)
+        # Applying the hint makes the system schedulable.
+        fixed = SystemModel(
+            platform=system.platform,
+            rt_partition=system.rt_partition,
+            security_tasks=TaskSet(
+                [
+                    SecurityTask(
+                        name="s",
+                        wcet=5.0,
+                        period_des=50.0,
+                        period_max=stretch.required + 1e-6,
+                    )
+                ]
+            ),
+        )
+        assert HydraAllocator().allocate(fixed).schedulable
+
+    def test_wcet_hint_absent_when_no_wcet_would_fit(self):
+        # tight_system: C ≤ (1 − .9)·80 − 9 = −1 → no positive WCET
+        # fits, so no reduce-wcet hint may be offered.
+        report = diagnose(tight_system())
+        assert all(h.kind != "reduce-wcet" for h in report.hints)
+
+    def test_wcet_hint_is_sufficient_when_offered(self):
+        platform = Platform(1)
+        rt = TaskSet([RealTimeTask(name="r", wcet=5.0, period=10.0)])
+        security = TaskSet(
+            [
+                SecurityTask(
+                    name="s", wcet=30.0, period_des=40.0, period_max=60.0
+                )
+            ]
+        )
+        system = SystemModel(
+            platform=platform,
+            rt_partition=Partition(platform, rt, {"r": 0}),
+            security_tasks=security,
+        )
+        report = diagnose(system)
+        reduce = next(h for h in report.hints if h.kind == "reduce-wcet")
+        # C ≤ (1 − .5)·60 − 5 = 25.
+        assert reduce.required == pytest.approx(25.0)
+        fixed = SystemModel(
+            platform=platform,
+            rt_partition=system.rt_partition,
+            security_tasks=TaskSet(
+                [
+                    SecurityTask(
+                        name="s",
+                        wcet=reduce.required,
+                        period_des=40.0,
+                        period_max=60.0,
+                    )
+                ]
+            ),
+        )
+        assert HydraAllocator().allocate(fixed).schedulable
+
+    def test_add_core_hint(self):
+        report = diagnose(tight_system())
+        add_core = next(h for h in report.hints if h.kind == "add-core")
+        assert add_core.required == 2.0
+
+    def test_shed_hint_quantifies_overload(self):
+        report = diagnose(tight_system())
+        shed = next(
+            h for h in report.hints if h.kind == "shed-utilization"
+        )
+        # Need U ≤ 1 − 14/80 = 0.825 → shed = 0.9 − 0.825 = 0.075.
+        assert shed.current == pytest.approx(0.075)
+
+    def test_core_state_reported(self):
+        report = diagnose(tight_system())
+        assert 0 in report.core_state
+        k_prime, utilization = report.core_state[0]
+        assert k_prime == pytest.approx(9.0)
+        assert utilization == pytest.approx(0.9)
+
+
+class TestMaxSecurityScale:
+    def test_relaxed_system_hits_cap(self, two_core_system):
+        scale = max_security_scale(two_core_system, upper=4.0)
+        assert scale == 4.0
+
+    def test_hopeless_system_scale_zero(self):
+        # tight_system's core cannot host any security work at all:
+        # even C → 0 needs period (0 + 9)/0.1 = 90 > T_max = 80.
+        assert max_security_scale(tight_system()) == 0.0
+
+    def test_tight_system_scale_below_one(self):
+        # (30s + 5)/0.5 ≤ 60  →  s ≤ 25/30 ≈ 0.833.
+        platform = Platform(1)
+        rt = TaskSet([RealTimeTask(name="r", wcet=5.0, period=10.0)])
+        security = TaskSet(
+            [
+                SecurityTask(
+                    name="s", wcet=30.0, period_des=40.0, period_max=60.0
+                )
+            ]
+        )
+        system = SystemModel(
+            platform=platform,
+            rt_partition=Partition(platform, rt, {"r": 0}),
+            security_tasks=security,
+        )
+        scale = max_security_scale(system)
+        assert scale == pytest.approx(25.0 / 30.0, abs=1e-2)
+
+    def test_scale_is_achievable(self, loaded_system):
+        scale = max_security_scale(loaded_system, tolerance=1e-3)
+        from repro.model.task import SecurityTask, TaskSet
+
+        shrunk = TaskSet(
+            SecurityTask(
+                name=t.name,
+                wcet=t.wcet * max(scale - 1e-3, 1e-6),
+                period_des=t.period_des,
+                period_max=t.period_max,
+            )
+            for t in loaded_system.security_tasks
+        )
+        candidate = SystemModel(
+            platform=loaded_system.platform,
+            rt_partition=loaded_system.rt_partition,
+            security_tasks=shrunk,
+        )
+        assert HydraAllocator().allocate(candidate).schedulable

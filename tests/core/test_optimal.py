@@ -1,0 +1,67 @@
+"""Unit tests for the OPT allocator wrapper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hydra import HydraAllocator
+from repro.core.optimal import OptimalAllocator
+
+
+class TestOptimalAllocator:
+    def test_schedulable_on_fixture(self, loaded_system):
+        allocation = OptimalAllocator().allocate(loaded_system)
+        assert allocation.schedulable
+        assert len(allocation.assignments) == 3
+
+    def test_dominates_hydra(self, loaded_system):
+        optimal = OptimalAllocator().allocate(loaded_system)
+        hydra = HydraAllocator().allocate(loaded_system)
+        assert optimal.cumulative_tightness() >= (
+            hydra.cumulative_tightness() - 1e-9
+        )
+
+    def test_branch_bound_same_tightness(self, loaded_system):
+        exhaustive = OptimalAllocator(search="exhaustive").allocate(
+            loaded_system
+        )
+        bnb = OptimalAllocator(search="branch-bound").allocate(loaded_system)
+        assert exhaustive.cumulative_tightness() == pytest.approx(
+            bnb.cumulative_tightness()
+        )
+
+    def test_info_carries_search_stats(self, loaded_system):
+        exhaustive = OptimalAllocator().allocate(loaded_system)
+        assert "explored" in exhaustive.info
+        bnb = OptimalAllocator(search="branch-bound").allocate(loaded_system)
+        assert "nodes" in bnb.info
+
+    def test_unschedulable_system(self, loaded_system):
+        from dataclasses import replace
+        from repro.model.task import SecurityTask, TaskSet
+
+        impossible = TaskSet(
+            [
+                SecurityTask(
+                    name="x", wcet=95.0, period_des=100.0, period_max=100.0
+                )
+            ]
+        )
+        system = replace(loaded_system, security_tasks=impossible, weights={})
+        allocation = OptimalAllocator().allocate(system)
+        assert not allocation.schedulable
+
+    def test_unknown_search_rejected(self):
+        with pytest.raises(ValueError):
+            OptimalAllocator(search="genetic")
+
+    def test_respects_weights(self, loaded_system):
+        from dataclasses import replace
+
+        weighted = replace(loaded_system, weights={"s2": 50.0})
+        allocation = OptimalAllocator().allocate(weighted)
+        assert allocation.schedulable
+        # With a huge weight, s2 should achieve its desired period.
+        assert allocation.assignment_for("s2").period == pytest.approx(
+            400.0, rel=1e-6
+        )

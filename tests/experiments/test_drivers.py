@@ -1,0 +1,221 @@
+"""Integration tests for the per-figure experiment drivers (smoke scale)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments.ablations import (
+    core_choice_ablation,
+    extension_ablation,
+    format_allocator_comparison,
+    format_extension_ablation,
+    format_search_ablation,
+    search_ablation,
+    solver_ablation,
+)
+from repro.experiments.config import SCALES
+from repro.experiments.fig1 import build_uav_systems, format_fig1, run_fig1
+from repro.experiments.fig2 import format_fig2, run_fig2
+from repro.experiments.fig3 import format_fig3, run_fig3
+from repro.experiments.table1 import format_table1, run_table1
+
+
+@pytest.fixture(scope="module")
+def smoke():
+    return SCALES["smoke"]
+
+
+class TestTable1:
+    def test_rows_cover_table1(self):
+        rows = run_table1()
+        assert len(rows) == 6
+        apps = [r.application for r in rows]
+        assert apps.count("tripwire") == 5
+        assert apps.count("bro") == 1
+
+    def test_periods_within_bounds(self):
+        for row in run_table1():
+            assert row.period_des <= row.hydra_period <= row.period_max
+            assert row.period_des <= row.single_period <= row.period_max
+
+    def test_formatting(self):
+        text = format_table1(run_table1())
+        assert "Table I" in text
+        assert "tw_own_binary" in text
+        assert "bro_network" in text
+
+
+class TestUavSystems:
+    @pytest.mark.parametrize("cores", [2, 4, 8])
+    def test_build_for_all_paper_core_counts(self, cores):
+        hydra_system, hydra_alloc, single_system, single_alloc = (
+            build_uav_systems(cores)
+        )
+        assert hydra_alloc.schedulable
+        assert single_alloc.schedulable
+        # SingleCore: every security task on the last core.
+        assert {a.core for a in single_alloc.assignments} == {cores - 1}
+
+    def test_hydra_spreads_security(self):
+        _, hydra_alloc, _, _ = build_uav_systems(4)
+        assert len({a.core for a in hydra_alloc.assignments}) >= 2
+
+
+class TestFig1:
+    def test_smoke_run(self, smoke):
+        result = run_fig1(smoke)
+        assert len(result.points) == len(smoke.core_counts)
+        point = result.points[0]
+        assert point.hydra.cdf.sample_size == smoke.sim_trials
+        assert point.single.cdf.sample_size == smoke.sim_trials
+
+    def test_hydra_detects_faster_at_default_seedset(self, smoke):
+        # Use a slightly larger observation count for a stable sign.
+        scale = smoke.with_overrides(sim_trials=40, sim_duration=60_000.0)
+        result = run_fig1(scale)
+        for point in result.points:
+            assert point.speedup > 0.0
+
+    def test_all_attacks_detected(self, smoke):
+        result = run_fig1(smoke)
+        for point in result.points:
+            assert point.hydra.cdf.undetected == 0
+            assert point.single.cdf.undetected == 0
+
+    def test_formatting(self, smoke):
+        text = format_fig1(run_fig1(smoke))
+        assert "Fig. 1" in text
+        assert "mean detection" in text
+
+    def test_sporadic_release_mode(self, smoke):
+        result = run_fig1(smoke, release_jitter=0.3)
+        for point in result.points:
+            assert point.hydra.cdf.sample_size == smoke.sim_trials
+
+    def test_start_after_policy_no_slower(self, smoke):
+        # A check that started after the attack detects no later than
+        # one that additionally had to be *released* after it.
+        release_after = run_fig1(smoke, policy="release-after")
+        start_after = run_fig1(smoke, policy="start-after")
+        for ra, sa in zip(release_after.points, start_after.points):
+            assert sa.hydra.mean <= ra.hydra.mean + 1e-9
+            assert sa.single.mean <= ra.single.mean + 1e-9
+
+
+class TestFig2:
+    def test_smoke_run_structure(self, smoke):
+        result = run_fig2(smoke)
+        assert result.core_counts == [2]
+        panel = result.panel(2)
+        assert len(panel) == 3  # smoke grid: 0.25, 0.5, 0.75 of M
+        for point in panel:
+            assert 0.0 <= point.ratio_hydra <= 1.0
+            assert 0.0 <= point.ratio_single <= 1.0
+
+    def test_low_utilization_parity(self, smoke):
+        result = run_fig2(smoke)
+        first = result.panel(2)[0]
+        assert first.ratio_hydra == 1.0
+        assert first.ratio_single == 1.0
+        assert first.improvement == 0.0
+
+    def test_hydra_never_below_singlecore(self, smoke):
+        for point in run_fig2(smoke).points:
+            assert point.ratio_hydra >= point.ratio_single - 1e-9
+
+    def test_formatting(self, smoke):
+        text = format_fig2(run_fig2(smoke))
+        assert "Fig. 2" in text
+        assert "improvement" in text
+
+
+class TestFig3:
+    def test_smoke_run(self, smoke):
+        result = run_fig3(smoke)
+        assert len(result.points) == 3
+        for point in result.points:
+            assert point.mean_gap >= 0.0
+            assert point.max_gap >= point.mean_gap - 1e-9
+
+    def test_gap_zero_at_low_utilization(self, smoke):
+        result = run_fig3(smoke)
+        assert result.points[0].mean_gap == pytest.approx(0.0, abs=1e-6)
+
+    def test_exhaustive_and_bnb_agree(self, smoke):
+        bnb = run_fig3(smoke, search="branch-bound")
+        exhaustive = run_fig3(smoke, search="exhaustive")
+        for a, b in zip(bnb.points, exhaustive.points):
+            assert a.mean_gap == pytest.approx(b.mean_gap, abs=1e-6)
+
+    def test_formatting(self, smoke):
+        text = format_fig3(run_fig3(smoke))
+        assert "Fig. 3" in text
+        assert "worst observed" in text
+
+
+class TestAblations:
+    def test_solver_ablation(self, smoke):
+        comparison = solver_ablation(smoke)
+        schemes = comparison.schemes()
+        assert "hydra" in schemes
+        assert "hydra[exact-rta]" in schemes
+        # Exact RTA accepts at least as much at every point.
+        for cell_closed, cell_exact in zip(
+            comparison.series("hydra"), comparison.series("hydra[exact-rta]")
+        ):
+            assert cell_exact.acceptance >= cell_closed.acceptance - 1e-9
+        text = format_allocator_comparison(comparison, "solver")
+        assert "acceptance" in text
+
+    def test_core_choice_ablation(self, smoke):
+        comparison = core_choice_ablation(smoke)
+        assert "first-feasible" in comparison.schemes()
+        for cell_hydra, cell_first in zip(
+            comparison.series("hydra"), comparison.series("first-feasible")
+        ):
+            if cell_hydra.acceptance == cell_first.acceptance == 1.0:
+                assert cell_hydra.mean_tightness >= (
+                    cell_first.mean_tightness - 1e-9
+                )
+
+    def test_partitioning_ablation(self, smoke):
+        from repro.experiments.ablations import partitioning_ablation
+
+        comparison = partitioning_ablation(smoke, cores=2)
+        assert set(comparison.schemes()) == {
+            "best-fit", "worst-fit", "first-fit",
+        }
+        # Same utilisation grid for every heuristic.
+        per_scheme = {
+            s: [c.utilization for c in comparison.series(s)]
+            for s in comparison.schemes()
+        }
+        grids = list(per_scheme.values())
+        assert all(g == grids[0] for g in grids)
+
+    def test_search_ablation_full_agreement(self, smoke):
+        result = search_ablation(smoke)
+        assert result.systems > 0
+        assert result.agreements == result.systems
+        assert result.bnb_lp_solves <= result.exhaustive_lp_solves
+        assert "solve reduction" in format_search_ablation(result)
+
+    def test_extension_ablation(self, smoke):
+        cells = extension_ablation(smoke)
+        modes = [c.mode for c in cells]
+        assert modes == [
+            "partitioned", "global", "non-preemptive", "precedence",
+            "non-preemptive+aware",
+        ]
+        for cell in cells:
+            assert not math.isinf(cell.mean_detection)
+        by_mode = {c.mode: c for c in cells}
+        # Partitioned preemptive security never misses RT deadlines.
+        assert by_mode["partitioned"].missed_deadlines == 0
+        # Naive non-preemptive execution blocks RT tasks...
+        assert by_mode["non-preemptive"].missed_deadlines > 0
+        # ...and the blocking-aware allocator repairs exactly that.
+        assert by_mode["non-preemptive+aware"].missed_deadlines == 0
+        assert "extensions" in format_extension_ablation(cells)

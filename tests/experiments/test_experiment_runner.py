@@ -1,0 +1,96 @@
+"""Unit tests for the shared experiment runner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import (
+    build_hydra_system,
+    run_acceptance_trial,
+    spawn_streams,
+)
+from repro.model.platform import Platform
+from repro.taskgen.synthetic import SyntheticConfig, generate_workload
+
+
+class TestSpawnStreams:
+    def test_count_and_independence(self):
+        streams = spawn_streams(7, 4)
+        assert len(streams) == 4
+        draws = [s.random() for s in streams]
+        assert len(set(draws)) == 4  # streams differ
+
+    def test_reproducible(self):
+        a = [s.random() for s in spawn_streams(7, 3)]
+        b = [s.random() for s in spawn_streams(7, 3)]
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = [s.random() for s in spawn_streams(7, 3)]
+        b = [s.random() for s in spawn_streams(8, 3)]
+        assert a != b
+
+
+class TestBuildHydraSystem:
+    def test_moderate_load_builds(self, rng):
+        workload = generate_workload(2, 1.0, rng)
+        system = build_hydra_system(workload)
+        assert system is not None
+        assert system.platform == workload.platform
+        assert system.security_tasks == workload.security_tasks
+
+    def test_impossible_load_returns_none(self, rng):
+        # A single RT task per core at u ≈ 1 plus more: force failure by
+        # generating at the capacity edge repeatedly until partition
+        # fails — or simply craft one directly.
+        from repro.model.task import RealTimeTask, TaskSet
+        from repro.taskgen.synthetic import SyntheticWorkload
+
+        rt = TaskSet(
+            [
+                RealTimeTask(name=f"r{i}", wcet=7.0, period=10.0)
+                for i in range(3)
+            ]
+        )
+        workload = SyntheticWorkload(
+            platform=Platform(2),
+            rt_tasks=rt,
+            security_tasks=TaskSet(),
+            target_utilization=2.1,
+        )
+        assert build_hydra_system(workload) is None
+
+
+class TestRunAcceptanceTrial:
+    def test_outcome_fields(self, rng):
+        outcome = run_acceptance_trial(2, 1.0, rng)
+        assert outcome.utilization == 1.0
+        assert isinstance(outcome.hydra_schedulable, bool)
+        assert isinstance(outcome.single_schedulable, bool)
+
+    def test_low_utilization_both_accept(self, rng):
+        for _ in range(5):
+            outcome = run_acceptance_trial(2, 0.3, rng)
+            assert outcome.hydra_schedulable
+            assert outcome.single_schedulable
+
+    def test_single_core_platform_skips_singlecore(self, rng):
+        outcome = run_acceptance_trial(1, 0.3, rng)
+        assert outcome.single is None
+        assert not outcome.single_schedulable
+
+    def test_custom_config_respected(self, rng):
+        config = SyntheticConfig(security_task_count=(2, 2))
+        outcome = run_acceptance_trial(2, 0.5, rng, config=config)
+        if outcome.hydra is not None and outcome.hydra.schedulable:
+            assert len(outcome.hydra.assignments) == 2
+
+    def test_custom_allocators_used(self, rng):
+        from repro.core.variants import FirstFeasibleAllocator
+
+        outcome = run_acceptance_trial(
+            2, 0.5, rng, hydra_allocator=FirstFeasibleAllocator()
+        )
+        assert outcome.hydra is not None
+        assert outcome.hydra.scheme == "first-feasible"

@@ -1,0 +1,53 @@
+"""Unit tests for the text reporting helpers."""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments.reporting import format_series, format_table, percent
+
+
+class TestPercent:
+    def test_basic(self):
+        assert percent(12.3456) == "12.35%"
+        assert percent(12.3456, digits=1) == "12.3%"
+
+    def test_infinities(self):
+        assert percent(math.inf) == "inf"
+        assert percent(-math.inf) == "-inf"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["col", "x"], [["a", 1], ["bbbb", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, separator, two rows
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_title(self):
+        text = format_table(["c"], [["v"]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text and "b" in text
+
+
+class TestFormatSeries:
+    def test_contains_extents(self):
+        text = format_series([0, 1, 2], [5.0, 7.0, 6.0], label="demo ")
+        assert "demo" in text
+        assert "[5, 7]" in text
+
+    def test_skips_non_finite(self):
+        text = format_series([0, 1, 2], [1.0, math.inf, 2.0])
+        # Only two points plotted → width 2 body rows.
+        body = [l for l in text.splitlines() if l.startswith("|")]
+        assert all(len(l) <= 3 for l in body)
+
+    def test_no_data(self):
+        assert "no data" in format_series([], [])
+
+    def test_constant_series(self):
+        text = format_series([0, 1], [3.0, 3.0])
+        assert "[3, 3]" in text

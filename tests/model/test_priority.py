@@ -1,0 +1,122 @@
+"""Unit tests for the priority-assignment policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.priority import (
+    assign_rate_monotonic,
+    higher_priority_security,
+    rate_monotonic_order,
+    security_priority_order,
+    weights_by_priority,
+)
+from repro.model.task import RealTimeTask, SecurityTask
+
+
+def rt(name: str, wcet: float, period: float) -> RealTimeTask:
+    return RealTimeTask(name=name, wcet=wcet, period=period)
+
+
+def sec(name: str, tmax: float, tdes: float | None = None) -> SecurityTask:
+    tdes = tdes if tdes is not None else tmax / 10.0
+    return SecurityTask(
+        name=name, wcet=1.0, period_des=tdes, period_max=tmax
+    )
+
+
+class TestRateMonotonicOrder:
+    def test_shorter_period_first(self):
+        tasks = [rt("slow", 1, 100), rt("fast", 1, 10)]
+        assert [t.name for t in rate_monotonic_order(tasks)] == [
+            "fast",
+            "slow",
+        ]
+
+    def test_tie_broken_by_wcet_then_name(self):
+        tasks = [rt("a", 1, 10), rt("b", 2, 10), rt("c", 2, 10)]
+        ordered = [t.name for t in rate_monotonic_order(tasks)]
+        assert ordered == ["b", "c", "a"]
+
+    def test_deterministic_regardless_of_input_order(self):
+        tasks = [rt("a", 1, 30), rt("b", 1, 20), rt("c", 1, 10)]
+        assert rate_monotonic_order(tasks) == rate_monotonic_order(
+            reversed(tasks)
+        )
+
+
+class TestAssignRateMonotonic:
+    def test_priorities_are_distinct_and_dense(self):
+        tasks = [rt("a", 1, 30), rt("b", 1, 20), rt("c", 1, 10)]
+        assigned = assign_rate_monotonic(tasks)
+        assert [t.priority for t in assigned] == [0, 1, 2]
+
+    def test_highest_priority_has_shortest_period(self):
+        tasks = [rt("a", 1, 30), rt("b", 1, 10)]
+        assigned = assign_rate_monotonic(tasks)
+        assert assigned[0].name == "b"
+        assert assigned[0].priority == 0
+
+
+class TestSecurityPriorityOrder:
+    def test_smaller_tmax_means_higher_priority(self):
+        tasks = [sec("late", 1000.0), sec("early", 100.0)]
+        assert [t.name for t in security_priority_order(tasks)] == [
+            "early",
+            "late",
+        ]
+
+    def test_tie_on_tmax_broken_by_tdes(self):
+        a = SecurityTask(name="a", wcet=1, period_des=50, period_max=100)
+        b = SecurityTask(name="b", wcet=1, period_des=20, period_max=100)
+        assert [t.name for t in security_priority_order([a, b])] == [
+            "b",
+            "a",
+        ]
+
+    def test_total_deterministic_order(self):
+        a = SecurityTask(name="a", wcet=1, period_des=50, period_max=100)
+        b = SecurityTask(name="b", wcet=1, period_des=50, period_max=100)
+        assert [t.name for t in security_priority_order([b, a])] == [
+            "a",
+            "b",
+        ]
+
+
+class TestHigherPrioritySecurity:
+    def test_empty_for_highest(self):
+        tasks = [sec("hi", 100.0), sec("lo", 1000.0)]
+        assert higher_priority_security(tasks[0], tasks) == []
+
+    def test_all_above_for_lowest(self):
+        tasks = [sec("hi", 100.0), sec("mid", 500.0), sec("lo", 1000.0)]
+        hp = higher_priority_security(tasks[2], tasks)
+        assert [t.name for t in hp] == ["hi", "mid"]
+
+    def test_excludes_self(self):
+        tasks = [sec("hi", 100.0), sec("lo", 1000.0)]
+        hp = higher_priority_security(tasks[1], tasks)
+        assert all(t.name != "lo" for t in hp)
+
+
+class TestWeightsByPriority:
+    def test_linear_default_weights(self):
+        tasks = [sec("hi", 100.0), sec("mid", 500.0), sec("lo", 1000.0)]
+        weights = weights_by_priority(tasks)
+        assert weights == {"hi": 3.0, "mid": 2.0, "lo": 1.0}
+
+    def test_scaled_top_weight(self):
+        tasks = [sec("hi", 100.0), sec("lo", 1000.0)]
+        weights = weights_by_priority(tasks, highest=10.0)
+        assert weights["hi"] == pytest.approx(10.0)
+        assert weights["lo"] == pytest.approx(5.0)
+
+    def test_empty_input(self):
+        assert weights_by_priority([]) == {}
+
+    def test_weights_strictly_positive_and_decreasing(self):
+        tasks = [sec(f"s{i}", 100.0 * (i + 1)) for i in range(5)]
+        weights = weights_by_priority(tasks)
+        ordered = [weights[f"s{i}"] for i in range(5)]
+        assert all(w > 0 for w in ordered)
+        assert ordered == sorted(ordered, reverse=True)

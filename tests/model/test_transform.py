@@ -1,0 +1,154 @@
+"""Unit tests for system/task-set transformations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.model.task import SecurityTask, TaskSet
+from repro.model.transform import (
+    scale_security_wcets,
+    with_extra_cores,
+    with_period_max,
+    with_security_task,
+    with_security_tasks,
+)
+
+
+class TestWithSecurityTasks:
+    def test_swaps_workload(self, two_core_system):
+        new = TaskSet(
+            [
+                SecurityTask(
+                    name="other", wcet=1.0, period_des=50.0,
+                    period_max=500.0,
+                )
+            ]
+        )
+        transformed = with_security_tasks(two_core_system, new)
+        assert transformed.security_tasks.names == ("other",)
+        assert transformed.rt_partition is two_core_system.rt_partition
+
+    def test_original_untouched(self, two_core_system):
+        with_security_tasks(two_core_system, TaskSet())
+        assert len(two_core_system.security_tasks) == 2
+
+    def test_stale_weights_dropped(self, rt_pair, security_pair):
+        from repro.model import Partition, Platform, SystemModel
+
+        platform = Platform(2)
+        system = SystemModel(
+            platform=platform,
+            rt_partition=Partition(
+                platform, rt_pair, {"rt_fast": 0, "rt_slow": 1}
+            ),
+            security_tasks=security_pair,
+            weights={"sec_hi": 5.0},
+        )
+        transformed = with_security_tasks(
+            system, [security_pair["sec_lo"]]
+        )
+        assert "sec_hi" not in transformed.weights
+
+
+class TestScaleSecurityWcets:
+    def test_scales_all(self, two_core_system):
+        scaled = scale_security_wcets(two_core_system, 0.5)
+        for name in two_core_system.security_tasks.names:
+            assert scaled.security_tasks[name].wcet == pytest.approx(
+                0.5 * two_core_system.security_tasks[name].wcet
+            )
+
+    def test_rejects_overflowing_scale(self, two_core_system):
+        # sec_hi: C = 5, T_des = 100 → factor 21 pushes C past T_des.
+        with pytest.raises(ValidationError):
+            scale_security_wcets(two_core_system, 21.0)
+
+    def test_rejects_nonpositive_factor(self, two_core_system):
+        with pytest.raises(ValidationError):
+            scale_security_wcets(two_core_system, 0.0)
+
+    def test_identity(self, two_core_system):
+        assert (
+            scale_security_wcets(two_core_system, 1.0).security_tasks
+            == two_core_system.security_tasks
+        )
+
+
+class TestWithSecurityTask:
+    def test_replaces_by_name(self, two_core_system):
+        replacement = SecurityTask(
+            name="sec_hi", wcet=2.0, period_des=100.0, period_max=500.0
+        )
+        transformed = with_security_task(two_core_system, replacement)
+        assert transformed.security_tasks["sec_hi"].wcet == 2.0
+        assert len(transformed.security_tasks) == 2
+
+    def test_appends_new(self, two_core_system):
+        extra = SecurityTask(
+            name="extra", wcet=1.0, period_des=100.0, period_max=500.0
+        )
+        transformed = with_security_task(two_core_system, extra)
+        assert len(transformed.security_tasks) == 3
+
+
+class TestWithPeriodMax:
+    def test_updates_single_bound(self, two_core_system):
+        transformed = with_period_max(two_core_system, "sec_hi", 700.0)
+        assert transformed.security_tasks["sec_hi"].period_max == 700.0
+        assert transformed.security_tasks["sec_lo"].period_max == 900.0
+
+    def test_unknown_task_raises(self, two_core_system):
+        with pytest.raises(KeyError):
+            with_period_max(two_core_system, "ghost", 700.0)
+
+    def test_invalid_bound_rejected(self, two_core_system):
+        with pytest.raises(ValidationError):
+            with_period_max(two_core_system, "sec_hi", 50.0)  # < T_des
+
+
+class TestWithExtraCores:
+    def test_adds_empty_cores(self, two_core_system):
+        bigger = with_extra_cores(two_core_system, 2)
+        assert bigger.platform.num_cores == 4
+        assert bigger.rt_partition.tasks_on(2) == ()
+        assert bigger.rt_partition.tasks_on(3) == ()
+
+    def test_partition_preserved(self, two_core_system):
+        bigger = with_extra_cores(two_core_system)
+        for task in two_core_system.rt_tasks:
+            assert bigger.rt_partition.core_of(task) == (
+                two_core_system.rt_partition.core_of(task)
+            )
+
+    def test_rejects_zero(self, two_core_system):
+        with pytest.raises(ValidationError):
+            with_extra_cores(two_core_system, 0)
+
+    def test_extra_core_can_rescue_allocation(self):
+        from repro.core.hydra import HydraAllocator
+        from repro.model import (
+            Partition,
+            Platform,
+            RealTimeTask,
+            SystemModel,
+        )
+
+        platform = Platform(1)
+        rt = TaskSet([RealTimeTask(name="r", wcet=9.0, period=10.0)])
+        system = SystemModel(
+            platform=platform,
+            rt_partition=Partition(platform, rt, {"r": 0}),
+            security_tasks=TaskSet(
+                [
+                    SecurityTask(
+                        name="s", wcet=5.0, period_des=50.0,
+                        period_max=80.0,
+                    )
+                ]
+            ),
+        )
+        assert not HydraAllocator().allocate(system).schedulable
+        assert HydraAllocator().allocate(
+            with_extra_cores(system)
+        ).schedulable

@@ -1,0 +1,86 @@
+"""Unit tests for the branch-and-bound optimal search."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.opt.branch_bound import branch_bound_optimal
+from repro.opt.exhaustive import exhaustive_optimal
+
+
+class TestBranchBound:
+    def test_matches_exhaustive_on_fixtures(self, loaded_system):
+        exhaustive = exhaustive_optimal(loaded_system)
+        bnb, stats = branch_bound_optimal(loaded_system)
+        assert exhaustive is not None and bnb is not None
+        assert bnb.tightness == pytest.approx(exhaustive.tightness)
+
+    def test_matches_exhaustive_relaxed(self, two_core_system):
+        exhaustive = exhaustive_optimal(two_core_system)
+        bnb, _ = branch_bound_optimal(two_core_system)
+        assert exhaustive is not None and bnb is not None
+        assert bnb.tightness == pytest.approx(exhaustive.tightness)
+
+    def test_matches_exhaustive_on_random_systems(self, rng):
+        from repro.experiments.runner import build_hydra_system
+        from repro.taskgen.synthetic import SyntheticConfig, generate_workload
+
+        config = SyntheticConfig(security_task_count=(2, 5))
+        checked = 0
+        for utilization in (0.8, 1.4, 1.8):
+            for _ in range(4):
+                workload = generate_workload(2, utilization, rng, config)
+                system = build_hydra_system(workload)
+                if system is None:
+                    continue
+                exhaustive = exhaustive_optimal(system)
+                bnb, _ = branch_bound_optimal(system)
+                if exhaustive is None:
+                    assert bnb is None
+                else:
+                    assert bnb is not None
+                    assert bnb.tightness == pytest.approx(
+                        exhaustive.tightness, abs=1e-6
+                    )
+                checked += 1
+        assert checked >= 6  # the comparison actually exercised systems
+
+    def test_stats_populated(self, loaded_system):
+        _, stats = branch_bound_optimal(loaded_system)
+        assert stats.nodes > 0
+        assert stats.leaves_solved >= 1
+
+    def test_infeasible_returns_none_with_stats(self, loaded_system):
+        from dataclasses import replace
+        from repro.model.task import SecurityTask, TaskSet
+
+        impossible = TaskSet(
+            [
+                SecurityTask(
+                    name="x", wcet=90.0, period_des=100.0, period_max=101.0
+                ),
+            ]
+        )
+        system = replace(loaded_system, security_tasks=impossible, weights={})
+        result, stats = branch_bound_optimal(system)
+        assert result is None
+        assert stats.pruned_infeasible > 0
+
+    def test_prunes_at_least_some_nodes_on_larger_systems(self, rng):
+        from repro.experiments.runner import build_hydra_system
+        from repro.taskgen.synthetic import SyntheticConfig, generate_workload
+
+        config = SyntheticConfig(security_task_count=(6, 6))
+        pruned_any = False
+        for _ in range(8):
+            workload = generate_workload(2, 1.7, rng, config)
+            system = build_hydra_system(workload)
+            if system is None:
+                continue
+            result, stats = branch_bound_optimal(system)
+            if result is not None and (
+                stats.pruned_bound + stats.pruned_infeasible
+            ) > 0:
+                pruned_any = True
+                break
+        assert pruned_any

@@ -1,0 +1,106 @@
+"""Unit tests for the closed-form and exact-RTA period adaptation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.interference import Interferer, InterferenceEnv
+from repro.model.task import SecurityTask
+from repro.opt.period import adapt_period, adapt_period_exact
+
+
+def sec(wcet: float, tdes: float, tmax: float) -> SecurityTask:
+    return SecurityTask(name="s", wcet=wcet, period_des=tdes, period_max=tmax)
+
+
+def env(*pairs: tuple[float, float]) -> InterferenceEnv:
+    return InterferenceEnv([Interferer(c, t) for c, t in pairs])
+
+
+class TestAdaptPeriod:
+    def test_idle_core_gives_desired_period(self):
+        solution = adapt_period(sec(5.0, 100.0, 1000.0), env())
+        assert solution is not None
+        assert solution.period == 100.0
+        assert solution.tightness == 1.0
+        assert solution.binding == "desired"
+
+    def test_interference_binding(self):
+        # K = 10 + 20 = 30, U = 0.5 → T* = 60 > T_des = 50.
+        solution = adapt_period(sec(10.0, 50.0, 500.0), env((20.0, 40.0)))
+        assert solution is not None
+        assert solution.period == pytest.approx(60.0)
+        assert solution.tightness == pytest.approx(50.0 / 60.0)
+        assert solution.binding == "interference"
+
+    def test_infeasible_beyond_tmax(self):
+        # T* = 30/(1-0.5) = 60 > T_max = 55 → no solution.
+        assert adapt_period(sec(10.0, 50.0, 55.0), env((20.0, 40.0))) is None
+
+    def test_feasible_exactly_at_tmax(self):
+        solution = adapt_period(sec(10.0, 50.0, 60.0), env((20.0, 40.0)))
+        assert solution is not None
+        assert solution.period == pytest.approx(60.0)
+
+    def test_saturated_core_infeasible(self):
+        assert adapt_period(sec(1.0, 50.0, 500.0), env((40.0, 40.0))) is None
+
+    def test_constraint_satisfied_at_optimum(self):
+        environment = env((3.0, 17.0), (5.0, 71.0))
+        task = sec(7.0, 20.0, 2000.0)
+        solution = adapt_period(task, environment)
+        assert solution is not None
+        lhs = task.wcet + environment.interference(solution.period)
+        assert lhs <= solution.period + 1e-9
+
+    def test_optimum_is_minimal(self):
+        # Any strictly smaller period must violate a constraint.
+        environment = env((3.0, 17.0), (5.0, 71.0))
+        task = sec(7.0, 20.0, 2000.0)
+        solution = adapt_period(task, environment)
+        assert solution is not None
+        smaller = solution.period * 0.999
+        if smaller >= task.period_des:
+            lhs = task.wcet + environment.interference(smaller)
+            assert lhs > smaller
+
+
+class TestAdaptPeriodExact:
+    def test_idle_core(self):
+        solution = adapt_period_exact(sec(5.0, 100.0, 1000.0), env())
+        assert solution is not None
+        assert solution.period == 100.0
+
+    def test_never_worse_than_linear(self):
+        environment = env((4.0, 10.0), (6.0, 35.0))
+        task = sec(8.0, 30.0, 3000.0)
+        linear = adapt_period(task, environment)
+        exact = adapt_period_exact(task, environment)
+        assert linear is not None and exact is not None
+        assert exact.period <= linear.period + 1e-9
+        assert exact.tightness >= linear.tightness - 1e-12
+
+    def test_exact_feasible_where_linear_fails(self):
+        # Linear: T* = (5+4)/(1-0.4) = 15 > T_max = 12.
+        # Exact: R = 5 + ceil(R/10)*4 → 9 ≤ 12.
+        environment = env((4.0, 10.0))
+        task = sec(5.0, 9.0, 12.0)
+        assert adapt_period(task, environment) is None
+        exact = adapt_period_exact(task, environment)
+        assert exact is not None
+        assert exact.period == pytest.approx(9.0)
+
+    def test_exact_infeasible_when_response_exceeds_tmax(self):
+        environment = env((9.0, 10.0))
+        task = sec(5.0, 9.0, 12.0)
+        assert adapt_period_exact(task, environment) is None
+
+    def test_period_equals_response_time_when_binding(self):
+        from repro.analysis.rta import response_time
+
+        environment = env((4.0, 10.0), (3.0, 9.0))
+        task = sec(2.0, 5.0, 500.0)
+        exact = adapt_period_exact(task, environment)
+        assert exact is not None
+        expected = response_time(2.0, environment.interferers)
+        assert exact.period == pytest.approx(max(5.0, expected))

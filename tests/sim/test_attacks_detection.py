@@ -1,0 +1,163 @@
+"""Unit tests for attack injection and detection-time measurement."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.model.task import SecurityTask, TaskSet
+from repro.sim.attacks import Attack, sample_attacks, surfaces_of
+from repro.sim.detection import (
+    build_surface_map,
+    detection_time,
+    detection_times,
+)
+from repro.sim.engine import SimTask, Simulator
+
+
+def security_suite() -> TaskSet:
+    return TaskSet(
+        [
+            SecurityTask(
+                name="fs_check", wcet=2.0, period_des=20.0,
+                period_max=200.0, surface="filesystem",
+            ),
+            SecurityTask(
+                name="net_check", wcet=3.0, period_des=30.0,
+                period_max=300.0, surface="network",
+            ),
+            SecurityTask(
+                name="untagged", wcet=1.0, period_des=50.0,
+                period_max=500.0,
+            ),
+        ]
+    )
+
+
+def simulate_suite(duration=100.0):
+    tasks = [
+        SimTask(name="fs_check", wcet=2.0, period=20.0, priority=0, core=0,
+                kind="security", surface="filesystem"),
+        SimTask(name="net_check", wcet=3.0, period=30.0, priority=1, core=0,
+                kind="security", surface="network"),
+    ]
+    return Simulator(tasks, num_cores=1, duration=duration).run()
+
+
+class TestAttack:
+    def test_valid(self):
+        attack = Attack(time=5.0, surface="filesystem")
+        assert attack.time == 5.0
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ValidationError):
+            Attack(time=-1.0, surface="x")
+
+    def test_rejects_empty_surface(self):
+        with pytest.raises(ValidationError):
+            Attack(time=1.0, surface="")
+
+
+class TestSampling:
+    def test_surfaces_of_unique_in_order(self):
+        assert surfaces_of(security_suite()) == ["filesystem", "network"]
+
+    def test_sample_attacks_window_and_surfaces(self, rng):
+        attacks = sample_attacks(
+            50, (10.0, 20.0), ["a", "b"], rng=rng
+        )
+        assert len(attacks) == 50
+        assert all(10.0 <= a.time <= 20.0 for a in attacks)
+        assert {a.surface for a in attacks} <= {"a", "b"}
+
+    def test_sample_attacks_validation(self, rng):
+        with pytest.raises(ValidationError):
+            sample_attacks(-1, (0.0, 1.0), ["a"], rng=rng)
+        with pytest.raises(ValidationError):
+            sample_attacks(1, (5.0, 5.0), ["a"], rng=rng)
+        with pytest.raises(ValidationError):
+            sample_attacks(1, (0.0, 1.0), [], rng=rng)
+
+    def test_sample_attacks_seedable(self):
+        a = sample_attacks(5, (0.0, 10.0), ["x"], rng=7)
+        b = sample_attacks(5, (0.0, 10.0), ["x"], rng=7)
+        assert a == b
+
+
+class TestDetection:
+    def test_surface_map(self):
+        mapping = build_surface_map(security_suite())
+        assert mapping == {
+            "filesystem": ["fs_check"],
+            "network": ["net_check"],
+        }
+
+    def test_detection_by_next_release(self):
+        result = simulate_suite()
+        surface_map = build_surface_map(security_suite())
+        # fs_check jobs: release 0 done 2, release 20 done 22, ...
+        attack = Attack(time=5.0, surface="filesystem")
+        dt = detection_time(result, attack, surface_map)
+        # First job released after t=5 is the one at t=20 → done 22.
+        assert dt == pytest.approx(22.0 - 5.0)
+
+    def test_attack_at_release_instant_counts(self):
+        result = simulate_suite()
+        surface_map = build_surface_map(security_suite())
+        attack = Attack(time=20.0, surface="filesystem")
+        dt = detection_time(result, attack, surface_map)
+        assert dt == pytest.approx(2.0)
+
+    def test_start_after_policy_can_be_faster(self):
+        # A job released before but started after the attack counts
+        # under start-after, not under release-after.
+        tasks = [
+            SimTask(name="blocker", wcet=6.0, period=50.0, priority=0,
+                    core=0),
+            SimTask(name="fs_check", wcet=2.0, period=20.0, priority=1,
+                    core=0, kind="security", surface="filesystem"),
+        ]
+        result = Simulator(tasks, num_cores=1, duration=100.0).run()
+        surface_map = {"filesystem": ["fs_check"]}
+        attack = Attack(time=1.0, surface="filesystem")
+        release_after = detection_time(result, attack, surface_map)
+        start_after = detection_time(
+            result, attack, surface_map, policy="start-after"
+        )
+        # fs_check job 0: released 0 (before attack) but starts at 6.
+        assert start_after == pytest.approx(8.0 - 1.0)
+        assert release_after == pytest.approx(22.0 - 1.0)
+
+    def test_unmonitored_surface_never_detected(self):
+        result = simulate_suite()
+        attack = Attack(time=5.0, surface="kernel")
+        assert math.isinf(
+            detection_time(result, attack, build_surface_map(security_suite()))
+        )
+
+    def test_attack_too_late_never_detected(self):
+        result = simulate_suite(duration=50.0)
+        surface_map = build_surface_map(security_suite())
+        attack = Attack(time=49.0, surface="filesystem")
+        assert math.isinf(detection_time(result, attack, surface_map))
+
+    def test_detection_times_bulk(self, rng):
+        result = simulate_suite()
+        attacks = sample_attacks(
+            10, (0.0, 40.0), ["filesystem", "network"], rng=rng
+        )
+        times = detection_times(result, attacks, security_suite())
+        assert len(times) == 10
+        assert all(t > 0 for t in times)
+
+    def test_unknown_policy_rejected(self):
+        result = simulate_suite()
+        with pytest.raises(ValidationError):
+            detection_time(
+                result,
+                Attack(time=1.0, surface="filesystem"),
+                {"filesystem": ["fs_check"]},
+                policy="psychic",
+            )

@@ -1,0 +1,101 @@
+"""Unit tests for simulation response-time statistics."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.sim.engine import SimTask, Simulator
+from repro.sim.stats import all_response_stats, response_stats
+
+
+def simulate(tasks, duration=100.0, cores=1):
+    return Simulator(tasks, num_cores=cores, duration=duration).run()
+
+
+class TestResponseStats:
+    def test_isolated_task(self):
+        task = SimTask(name="t", wcet=2.0, period=10.0, priority=0, core=0)
+        stats = response_stats(simulate([task]), "t")
+        assert stats.jobs == 10
+        assert stats.best == pytest.approx(2.0)
+        assert stats.worst == pytest.approx(2.0)
+        assert stats.mean == pytest.approx(2.0)
+        assert stats.observed_all
+
+    def test_interference_spreads_distribution(self):
+        hi = SimTask(name="hi", wcet=2.0, period=7.0, priority=0, core=0)
+        lo = SimTask(name="lo", wcet=3.0, period=20.0, priority=1, core=0)
+        stats = response_stats(simulate([hi, lo], duration=700.0), "lo")
+        assert stats.best >= 3.0
+        assert stats.worst > stats.best  # phases differ over the horizon
+        assert stats.best <= stats.mean <= stats.worst
+
+    def test_worst_case_at_synchronous_release(self):
+        from repro.analysis.rta import response_time
+
+        hi = SimTask(name="hi", wcet=2.0, period=7.0, priority=0, core=0)
+        lo = SimTask(name="lo", wcet=3.0, period=20.0, priority=1, core=0)
+        stats = response_stats(simulate([hi, lo], duration=1400.0), "lo")
+        bound = response_time(3.0, [(2.0, 7.0)])
+        assert stats.worst <= bound + 1e-9
+        # The critical instant occurs at t = 0, so the bound is attained.
+        assert stats.worst == pytest.approx(bound)
+
+    def test_unfinished_jobs_counted(self):
+        task = SimTask(name="t", wcet=9.0, period=10.0, priority=0, core=0)
+        stats = response_stats(simulate([task], duration=15.0), "t")
+        assert stats.jobs == 2
+        assert stats.unfinished == 1
+        assert not stats.observed_all
+        assert stats.worst == pytest.approx(9.0)
+
+    def test_task_with_no_finished_jobs(self):
+        task = SimTask(name="t", wcet=9.0, period=10.0, priority=0, core=0)
+        stats = response_stats(simulate([task], duration=5.0), "t")
+        assert stats.unfinished == 1
+        assert math.isinf(stats.worst)
+
+    def test_unknown_task_empty(self):
+        task = SimTask(name="t", wcet=1.0, period=10.0, priority=0, core=0)
+        stats = response_stats(simulate([task]), "ghost")
+        assert stats.jobs == 0
+
+
+class TestAllResponseStats:
+    def test_covers_every_task(self):
+        tasks = [
+            SimTask(name="a", wcet=1.0, period=10.0, priority=0, core=0),
+            SimTask(name="b", wcet=2.0, period=20.0, priority=1, core=0),
+        ]
+        stats = all_response_stats(simulate(tasks))
+        assert set(stats) == {"a", "b"}
+
+    def test_consistency_with_analysis_on_allocated_system(
+        self, loaded_system
+    ):
+        """Observed response times never exceed the analytic bound."""
+        from repro.analysis.interference import InterferenceEnv
+        from repro.analysis.rta import response_time
+        from repro.core.hydra import HydraAllocator
+        from repro.sim.runner import simulate_allocation
+
+        allocation = HydraAllocator().allocate(loaded_system)
+        result = simulate_allocation(
+            loaded_system, allocation, duration=12_000.0
+        )
+        stats = all_response_stats(result)
+        for core in loaded_system.platform:
+            on_core = allocation.tasks_on(core)
+            for i, assignment in enumerate(on_core):
+                env = InterferenceEnv.on_core(
+                    loaded_system.rt_partition.tasks_on(core),
+                    [(a.task, a.period) for a in on_core[:i]],
+                )
+                bound = response_time(
+                    assignment.task.wcet, env.interferers
+                )
+                observed = stats[assignment.task.name]
+                if observed.jobs - observed.unfinished > 0:
+                    assert observed.worst <= bound + 1e-6

@@ -1,0 +1,56 @@
+"""Unit tests for period sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.taskgen.periods import sample_periods
+
+
+class TestSamplePeriods:
+    def test_within_range(self, rng):
+        periods = sample_periods(500, 10.0, 1000.0, rng)
+        assert periods.min() >= 10.0
+        assert periods.max() <= 1000.0
+
+    def test_uniform_distribution_option(self, rng):
+        periods = sample_periods(
+            2000, 10.0, 1000.0, rng, distribution="uniform"
+        )
+        assert periods.mean() == pytest.approx(505.0, rel=0.1)
+
+    def test_log_uniform_covers_decades(self, rng):
+        periods = sample_periods(2000, 10.0, 1000.0, rng)
+        # Log-uniform: about half the mass below sqrt(10*1000) ≈ 100.
+        below = float(np.mean(periods < 100.0))
+        assert 0.4 < below < 0.6
+
+    def test_zero_count(self, rng):
+        assert sample_periods(0, 10.0, 1000.0, rng).shape == (0,)
+
+    def test_granularity_rounding(self, rng):
+        periods = sample_periods(
+            200, 10.0, 1000.0, rng, granularity=5.0
+        )
+        assert np.allclose(periods % 5.0, 0.0)
+        assert periods.min() >= 10.0
+
+    def test_invalid_range_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            sample_periods(5, 0.0, 100.0, rng)
+        with pytest.raises(ValidationError):
+            sample_periods(5, 100.0, 10.0, rng)
+
+    def test_invalid_distribution_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            sample_periods(5, 10.0, 100.0, rng, distribution="gamma")
+
+    def test_invalid_granularity_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            sample_periods(5, 10.0, 100.0, rng, granularity=0.0)
+
+    def test_negative_count_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            sample_periods(-1, 10.0, 100.0, rng)

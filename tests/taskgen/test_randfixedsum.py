@@ -1,0 +1,106 @@
+"""Unit and property tests for Stafford's Randfixedsum."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.taskgen.randfixedsum import randfixedsum
+
+
+class TestBasics:
+    def test_single_component(self, rng):
+        x = randfixedsum(1, 0.7, 3, rng)
+        assert x.shape == (3, 1)
+        assert np.allclose(x, 0.7)
+
+    def test_shape(self, rng):
+        assert randfixedsum(5, 2.0, 7, rng).shape == (7, 5)
+
+    def test_sums_exact(self, rng):
+        x = randfixedsum(6, 2.5, 100, rng)
+        assert np.allclose(x.sum(axis=1), 2.5)
+
+    def test_unit_bounds_respected(self, rng):
+        x = randfixedsum(4, 3.2, 200, rng)
+        assert x.min() >= -1e-12
+        assert x.max() <= 1.0 + 1e-12
+
+    def test_custom_bounds(self, rng):
+        x = randfixedsum(5, 2.0, 100, rng, low=0.1, high=0.6)
+        assert np.allclose(x.sum(axis=1), 2.0)
+        assert x.min() >= 0.1 - 1e-12
+        assert x.max() <= 0.6 + 1e-12
+
+    def test_degenerate_total_at_lower_corner(self, rng):
+        x = randfixedsum(3, 0.3, 10, rng, low=0.1, high=0.9)
+        assert np.allclose(x, 0.1)
+
+    def test_degenerate_total_at_upper_corner(self, rng):
+        x = randfixedsum(3, 3.0, 10, rng)
+        assert np.allclose(x, 1.0)
+
+    def test_reproducible_with_seeded_rng(self):
+        a = randfixedsum(5, 2.0, 4, np.random.default_rng(3))
+        b = randfixedsum(5, 2.0, 4, np.random.default_rng(3))
+        assert np.array_equal(a, b)
+
+    def test_component_means_uniform(self):
+        # Exchangeability: each coordinate has mean u/n.
+        rng = np.random.default_rng(0)
+        x = randfixedsum(4, 2.0, 20_000, rng)
+        assert np.allclose(x.mean(axis=0), 0.5, atol=0.01)
+
+
+class TestValidation:
+    def test_unreachable_sum_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            randfixedsum(3, 3.5, 1, rng)
+        with pytest.raises(ValidationError):
+            randfixedsum(3, -0.1, 1, rng)
+
+    def test_bad_counts_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            randfixedsum(0, 0.0, 1, rng)
+        with pytest.raises(ValidationError):
+            randfixedsum(3, 1.0, 0, rng)
+
+    def test_bad_bounds_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            randfixedsum(3, 1.0, 1, rng, low=0.5, high=0.5)
+
+
+class TestProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=12),
+        frac=st.floats(min_value=0.01, max_value=0.99),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_sum_and_bounds_invariant(self, n, frac, seed):
+        total = frac * n
+        rng = np.random.default_rng(seed)
+        x = randfixedsum(n, total, 3, rng)
+        assert np.allclose(x.sum(axis=1), total, atol=1e-9)
+        assert x.min() >= -1e-9
+        assert x.max() <= 1.0 + 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n=st.integers(min_value=2, max_value=8),
+        frac=st.floats(min_value=0.05, max_value=0.95),
+        low=st.floats(min_value=0.0, max_value=0.2),
+        span=st.floats(min_value=0.1, max_value=0.8),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_affine_bounds_invariant(self, n, frac, low, span, seed):
+        high = low + span
+        total = n * (low + frac * span)
+        rng = np.random.default_rng(seed)
+        x = randfixedsum(n, total, 2, rng, low=low, high=high)
+        assert np.allclose(x.sum(axis=1), total, atol=1e-9)
+        assert x.min() >= low - 1e-9
+        assert x.max() <= high + 1e-9

@@ -1,0 +1,129 @@
+"""Unit tests for the Sec. IV-B synthetic workload recipe."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.model.platform import Platform
+from repro.taskgen.synthetic import (
+    SyntheticConfig,
+    generate_workload,
+    utilization_sweep,
+)
+
+
+class TestSyntheticConfig:
+    def test_paper_defaults(self):
+        config = SyntheticConfig()
+        assert config.rt_tasks_per_core == (3, 10)
+        assert config.security_tasks_per_core == (2, 5)
+        assert config.rt_period_range == (10.0, 1000.0)
+        assert config.security_period_des_range == (1000.0, 3000.0)
+        assert config.period_max_factor == 10.0
+        assert config.security_utilization_fraction == 0.3
+
+    def test_invalid_ranges_rejected(self):
+        with pytest.raises(ValidationError):
+            SyntheticConfig(rt_tasks_per_core=(5, 3))
+        with pytest.raises(ValidationError):
+            SyntheticConfig(rt_period_range=(0.0, 100.0))
+        with pytest.raises(ValidationError):
+            SyntheticConfig(period_max_factor=0.5)
+        with pytest.raises(ValidationError):
+            SyntheticConfig(security_utilization_fraction=0.0)
+        with pytest.raises(ValidationError):
+            SyntheticConfig(security_task_count=(0, 3))
+
+
+class TestGenerateWorkload:
+    def test_task_counts_in_paper_ranges(self, rng):
+        for _ in range(10):
+            wl = generate_workload(2, 1.0, rng)
+            assert 6 <= len(wl.rt_tasks) <= 20
+            assert 4 <= len(wl.security_tasks) <= 10
+
+    def test_absolute_count_override(self, rng):
+        config = SyntheticConfig(
+            rt_task_count=(3, 3), security_task_count=(2, 6)
+        )
+        for _ in range(10):
+            wl = generate_workload(4, 1.0, rng, config)
+            assert len(wl.rt_tasks) == 3
+            assert 2 <= len(wl.security_tasks) <= 6
+
+    def test_total_utilization_matches_target(self, rng):
+        wl = generate_workload(2, 1.3, rng)
+        assert wl.total_utilization == pytest.approx(1.3, abs=0.01)
+
+    def test_security_fraction_respected(self, rng):
+        wl = generate_workload(2, 1.3, rng)
+        assert wl.security_utilization_des <= (
+            0.3 * wl.rt_utilization + 0.01
+        )
+
+    def test_periods_within_ranges(self, rng):
+        wl = generate_workload(2, 1.0, rng)
+        for task in wl.rt_tasks:
+            assert 10.0 <= task.period <= 1000.0
+        for task in wl.security_tasks:
+            assert 1000.0 <= task.period_des <= 3000.0
+            assert task.period_max == pytest.approx(10.0 * task.period_des)
+
+    def test_all_wcets_positive(self, rng):
+        wl = generate_workload(4, 2.0, rng)
+        assert all(t.wcet > 0 for t in wl.rt_tasks)
+        assert all(t.wcet > 0 for t in wl.security_tasks)
+
+    def test_accepts_platform_or_int(self, rng):
+        assert generate_workload(Platform(2), 1.0, rng).platform == Platform(2)
+        assert generate_workload(2, 1.0, rng).platform == Platform(2)
+
+    def test_accepts_integer_seed(self):
+        a = generate_workload(2, 1.0, 42)
+        b = generate_workload(2, 1.0, 42)
+        assert a.rt_tasks == b.rt_tasks
+        assert a.security_tasks == b.security_tasks
+
+    def test_invalid_utilization_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            generate_workload(2, 0.0, rng)
+        with pytest.raises(ValidationError):
+            generate_workload(2, 2.5, rng)
+
+    def test_high_utilization_generates(self, rng):
+        wl = generate_workload(8, 7.8, rng)
+        assert wl.total_utilization == pytest.approx(7.8, abs=0.05)
+
+
+class TestUtilizationSweep:
+    def test_paper_grid(self):
+        points = list(utilization_sweep(2))
+        assert len(points) == 39
+        assert points[0] == pytest.approx(0.05)
+        assert points[-1] == pytest.approx(1.95)
+
+    def test_scales_with_cores(self):
+        points = list(utilization_sweep(8))
+        assert points[0] == pytest.approx(0.2)
+        assert points[-1] == pytest.approx(7.8)
+
+    def test_custom_grid(self):
+        points = list(
+            utilization_sweep(
+                2, step_fraction=0.25, start_fraction=0.25,
+                stop_fraction=0.75,
+            )
+        )
+        assert points == pytest.approx([0.5, 1.0, 1.5])
+
+    def test_invalid_fractions_rejected(self):
+        with pytest.raises(ValidationError):
+            list(utilization_sweep(2, start_fraction=0.0))
+        with pytest.raises(ValidationError):
+            list(
+                utilization_sweep(
+                    2, start_fraction=0.9, stop_fraction=0.5
+                )
+            )

@@ -1,0 +1,69 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig9"])
+
+    def test_accepts_scale_and_seed(self):
+        args = build_parser().parse_args(
+            ["fig2", "--scale", "smoke", "--seed", "7"]
+        )
+        assert args.experiment == "fig2"
+        assert args.scale == "smoke"
+        assert args.seed == 7
+
+
+class TestMain:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+
+    def test_fig2_smoke(self, capsys):
+        assert main(["fig2", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 2" in out
+
+    def test_fig3_smoke_with_seed(self, capsys):
+        assert main(["fig3", "--scale", "smoke", "--seed", "99"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 3" in out
+
+    def test_fig1_smoke(self, capsys):
+        assert main(["fig1", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "mean detection" in out
+
+    def test_quality_smoke(self, capsys):
+        assert main(["quality", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "Monitoring quality" in out
+
+    def test_csv_export(self, tmp_path, capsys):
+        assert main(
+            ["fig2", "--scale", "smoke", "--csv", str(tmp_path / "out")]
+        ) == 0
+        capsys.readouterr()
+        csv_file = tmp_path / "out" / "fig2.csv"
+        assert csv_file.exists()
+        lines = csv_file.read_text().strip().splitlines()
+        assert lines[0].startswith("cores,utilization")
+        assert len(lines) > 1
+
+    def test_csv_export_table1(self, tmp_path, capsys):
+        assert main(["table1", "--csv", str(tmp_path)]) == 0
+        capsys.readouterr()
+        lines = (tmp_path / "table1.csv").read_text().strip().splitlines()
+        assert len(lines) == 7  # header + six security tasks

@@ -1,0 +1,115 @@
+"""Property tests: designer-advice hints must be sufficient remedies.
+
+Whenever :func:`repro.core.advice.diagnose` proposes a remedy on a
+random unschedulable system, *applying* that remedy (via the transform
+utilities) must produce a schedulable system — otherwise the advice is
+noise.  The stretch-T_max and add-core hints are checked exactly;
+``max_security_scale`` must sit on the feasibility boundary.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.advice import diagnose, max_security_scale
+from repro.core.hydra import HydraAllocator
+from repro.experiments.runner import build_hydra_system
+from repro.model.transform import (
+    scale_security_wcets,
+    with_extra_cores,
+    with_period_max,
+)
+from repro.taskgen.synthetic import SyntheticConfig, generate_workload
+
+
+def _random_system(seed: int, utilization: float):
+    config = SyntheticConfig(
+        security_task_count=(2, 5),
+        # Tighter T_max than the paper default so unschedulable systems
+        # actually occur inside the sweep.
+        period_max_factor=2.0,
+    )
+    workload = generate_workload(
+        2, utilization, np.random.default_rng(seed), config
+    )
+    return build_hydra_system(workload)
+
+
+class TestAdviceSufficiency:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        utilization=st.floats(min_value=1.2, max_value=1.95),
+    )
+    def test_stretch_hint_fixes_failed_task(self, seed, utilization):
+        system = _random_system(seed, utilization)
+        if system is None:
+            return
+        report = diagnose(system)
+        if report.schedulable:
+            return
+        stretch = next(
+            (h for h in report.hints if h.kind == "stretch-period-max"),
+            None,
+        )
+        if stretch is None:
+            return
+        fixed = with_period_max(
+            system, stretch.task, stretch.required * (1 + 1e-9)
+        )
+        fixed_report = diagnose(fixed)
+        # Either the whole system is now fine or the failure moved to a
+        # *different* (lower-priority) task — the hinted task itself is
+        # repaired.
+        assert (
+            fixed_report.schedulable
+            or fixed_report.failed_task != stretch.task
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        utilization=st.floats(min_value=1.2, max_value=1.95),
+    )
+    def test_add_core_hint_is_truthful(self, seed, utilization):
+        system = _random_system(seed, utilization)
+        if system is None:
+            return
+        report = diagnose(system)
+        if report.schedulable:
+            return
+        offered = any(h.kind == "add-core" for h in report.hints)
+        actually_works = HydraAllocator().allocate(
+            with_extra_cores(system)
+        ).schedulable
+        assert offered == actually_works
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        utilization=st.floats(min_value=0.5, max_value=1.8),
+    )
+    def test_max_scale_sits_on_feasibility_boundary(
+        self, seed, utilization
+    ):
+        system = _random_system(seed, utilization)
+        if system is None:
+            return
+        scale = max_security_scale(system, tolerance=1e-3, upper=8.0)
+        allocator = HydraAllocator()
+        if scale == 0.0:
+            return  # hopeless system: nothing to check below zero
+        if scale < 8.0:
+            # Slightly above must fail (boundary from above)...
+            try:
+                above = scale_security_wcets(system, scale + 5e-3)
+            except Exception:
+                above = None
+            if above is not None:
+                assert not allocator.allocate(above).schedulable
+        # ...and slightly below must succeed.
+        below = scale_security_wcets(system, max(scale - 5e-3, 1e-4))
+        assert allocator.allocate(below).schedulable
