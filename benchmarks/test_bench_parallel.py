@@ -1,0 +1,109 @@
+"""Bench: the sweep engine — serial vs parallel vs cache-hit.
+
+Three properties of the engine are measured on a Fig. 1-sized
+acceptance mini-sweep (one panel's worth of utilisation points):
+
+* a parallel run returns **byte-identical** payloads to the serial
+  run (asserted unconditionally);
+* with ≥ 2 CPUs, fanning points over workers is measurably faster
+  than the serial run (asserted when the hardware can show it;
+  reported either way);
+* a cache-warm rerun is an order of magnitude faster than computing
+  (it only reads a handful of JSON files) and returns identical
+  payloads.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.experiments.cache import ResultCache
+from repro.experiments.config import get_scale
+from repro.experiments.fig2 import fig2_sweep_spec
+from repro.experiments.parallel import SweepEngine
+
+#: Workers for the parallel leg (capped by the visible CPU count so
+#: single-core CI boxes measure overhead honestly, not oversubscription).
+_WORKERS = min(4, os.cpu_count() or 1)
+
+
+def _payload_bytes(result) -> bytes:
+    return json.dumps(result.payloads, sort_keys=True).encode()
+
+
+def _mini_spec(scale):
+    """One Fig. 2 panel (2 cores) at a sweep size that takes seconds."""
+    bench_scale = scale.with_overrides(
+        tasksets_per_point=max(12, scale.tasksets_per_point // 2),
+        utilization_step=0.1,
+        utilization_start=0.1,
+        utilization_stop=0.9,
+    )
+    return fig2_sweep_spec(2, bench_scale)
+
+
+def test_parallel_sweep_speedup(benchmark, scale):
+    spec = _mini_spec(scale)
+
+    serial_engine = SweepEngine(workers=1)
+    serial = benchmark.pedantic(
+        serial_engine.run, args=(spec,), rounds=1, iterations=1
+    )
+    start = time.perf_counter()
+    serial_again = serial_engine.run(spec)
+    serial_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = SweepEngine(workers=_WORKERS).run(spec)
+    parallel_s = time.perf_counter() - start
+
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    print()
+    print(
+        f"serial {serial_s:.2f}s vs parallel({_WORKERS}) {parallel_s:.2f}s "
+        f"→ speedup ×{speedup:.2f} on {os.cpu_count()} CPU(s)"
+    )
+
+    # Correctness is hardware-independent: identical bytes, all modes.
+    assert _payload_bytes(serial) == _payload_bytes(serial_again)
+    assert _payload_bytes(serial) == _payload_bytes(parallel)
+
+    if (os.cpu_count() or 1) >= 2 and _WORKERS >= 2:
+        # With real cores behind the pool the fan-out must win.
+        assert speedup > 1.1, (
+            f"parallel sweep not faster: ×{speedup:.2f} "
+            f"({_WORKERS} workers, {os.cpu_count()} CPUs)"
+        )
+    else:
+        # Single visible CPU: only require that pool overhead stays
+        # within a factor of two of the serial run.
+        assert parallel_s < serial_s * 2.0
+
+
+def test_cache_hit_latency(scale, tmp_path):
+    spec = _mini_spec(scale)
+
+    cold_engine = SweepEngine(workers=1, cache=ResultCache(tmp_path))
+    start = time.perf_counter()
+    cold = cold_engine.run(spec)
+    cold_s = time.perf_counter() - start
+
+    warm_engine = SweepEngine(workers=1, cache=ResultCache(tmp_path))
+    start = time.perf_counter()
+    warm = warm_engine.run(spec)
+    warm_s = time.perf_counter() - start
+
+    print()
+    print(
+        f"cold {cold_s:.2f}s vs cache-warm {warm_s*1000:.0f}ms "
+        f"→ ×{cold_s / warm_s:.0f} faster on hit"
+    )
+
+    assert warm.stats.computed_points == 0
+    assert warm.stats.cached_points == len(spec.points)
+    assert _payload_bytes(cold) == _payload_bytes(warm)
+    # Reading a few JSON files must beat recomputing the sweep by a
+    # wide margin; 5× is conservative (observed: orders of magnitude).
+    assert warm_s < cold_s / 5.0

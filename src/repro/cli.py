@@ -5,10 +5,17 @@ table/series the paper reports::
 
     repro-hydra table1
     repro-hydra fig1 --scale smoke
-    repro-hydra fig2 --scale default
-    repro-hydra fig3 --scale paper
+    repro-hydra fig2 --scale default --workers 4
+    repro-hydra fig3 --scale paper --workers 8 --cache-dir results/cache
     repro-hydra ablations
-    repro-hydra all --scale smoke
+    repro-hydra all --scale smoke --resume
+
+Sweeps run through the :class:`repro.experiments.parallel.SweepEngine`:
+``--workers N`` fans utilisation points over N processes (results are
+identical to a serial run — every point has its own SeedSequence
+stream), ``--cache-dir DIR`` caches per-point results on disk so
+re-runs and extended sweeps only compute missing points, and
+``--resume`` is shorthand for caching in ``.repro-cache``.
 """
 
 from __future__ import annotations
@@ -81,6 +88,33 @@ def build_parser() -> argparse.ArgumentParser:
             "experiment(s) as CSV files into DIR"
         ),
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "fan sweep points out over N worker processes (default: "
+            "serial; results are identical for any worker count)"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "cache per-point sweep results in DIR; re-runs and extended "
+            "sweeps only compute points missing from the cache"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "resume from (and keep feeding) the default cache directory "
+            "'.repro-cache' when --cache-dir is not given"
+        ),
+    )
     return parser
 
 
@@ -94,15 +128,29 @@ def _export_csv(directory: str, name: str, headers, rows) -> None:
     rows_to_csv(headers, rows, target / f"{name}.csv")
 
 
+#: Cache directory used by ``--resume`` when ``--cache-dir`` is absent.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
 def main(argv: Sequence[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    from repro.experiments.parallel import SweepEngine
+
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.workers is not None and args.workers < 0:
+        parser.error(f"--workers must be >= 0, got {args.workers}")
     scale = get_scale(args.scale)
     if args.seed is not None:
         scale = scale.with_overrides(seed=args.seed)
 
+    cache_dir = args.cache_dir
+    if cache_dir is None and args.resume:
+        cache_dir = DEFAULT_CACHE_DIR
+    engine = SweepEngine(workers=args.workers, cache=cache_dir)
+
     sections: list[str] = []
     if args.experiment in ("table1", "all"):
-        rows = run_table1()
+        rows = run_table1(engine=engine)
         sections.append(format_table1(rows))
         if args.csv:
             _export_csv(
@@ -119,7 +167,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 ],
             )
     if args.experiment in ("fig1", "all"):
-        fig1 = run_fig1(scale)
+        fig1 = run_fig1(scale, engine=engine)
         sections.append(format_fig1(fig1))
         if args.csv:
             _export_csv(
@@ -134,7 +182,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 ],
             )
     if args.experiment in ("fig2", "all"):
-        fig2 = run_fig2(scale)
+        fig2 = run_fig2(scale, engine=engine)
         sections.append(format_fig2(fig2))
         if args.csv:
             _export_csv(
@@ -149,7 +197,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 ],
             )
     if args.experiment in ("fig3", "all"):
-        fig3 = run_fig3(scale)
+        fig3 = run_fig3(scale, engine=engine)
         sections.append(format_fig3(fig3))
         if args.csv:
             _export_csv(
@@ -164,7 +212,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 ],
             )
     if args.experiment in ("quality", "all"):
-        quality = run_quality(scale)
+        quality = run_quality(scale, engine=engine)
         sections.append(format_quality(quality))
         if args.csv:
             _export_csv(
@@ -181,19 +229,19 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.experiment in ("ablations", "all"):
         sections.append(
             format_allocator_comparison(
-                solver_ablation(scale), "Ablation: period solver"
+                solver_ablation(scale, engine=engine), "Ablation: period solver"
             )
         )
         sections.append(
             format_allocator_comparison(
-                core_choice_ablation(scale), "Ablation: core-selection rule"
+                core_choice_ablation(scale, engine=engine), "Ablation: core-selection rule"
             )
         )
         sections.append(format_search_ablation(search_ablation(scale)))
         sections.append(format_extension_ablation(extension_ablation(scale)))
         sections.append(
             format_allocator_comparison(
-                partitioning_ablation(scale),
+                partitioning_ablation(scale, engine=engine),
                 "Ablation: real-time partitioning heuristic",
             )
         )

@@ -9,6 +9,9 @@
   extension ablations.
 * :mod:`repro.experiments.config` — ``smoke`` / ``default`` / ``paper``
   scaling presets (env var ``REPRO_SCALE``).
+* :mod:`repro.experiments.parallel` — the parallel/cached/resumable
+  :class:`SweepEngine` every driver runs through.
+* :mod:`repro.experiments.cache` — the on-disk per-point result cache.
 """
 
 from repro.experiments.ablations import (
@@ -23,7 +26,14 @@ from repro.experiments.ablations import (
     search_ablation,
     solver_ablation,
 )
+from repro.experiments.cache import ResultCache
 from repro.experiments.config import SCALES, ExperimentScale, get_scale
+from repro.experiments.parallel import (
+    SweepEngine,
+    SweepResult,
+    SweepSpec,
+    SweepStats,
+)
 from repro.experiments.fig1 import (
     Fig1Result,
     build_uav_systems,
@@ -43,6 +53,11 @@ __all__ = [
     "ExperimentScale",
     "SCALES",
     "get_scale",
+    "ResultCache",
+    "SweepEngine",
+    "SweepResult",
+    "SweepSpec",
+    "SweepStats",
     "run_table1",
     "format_table1",
     "run_fig1",

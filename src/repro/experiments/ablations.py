@@ -20,18 +20,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.allocator import Allocator
-from repro.core.hydra import HydraAllocator
-from repro.core.variants import (
-    FirstFeasibleAllocator,
-    LpRefinedHydraAllocator,
-    SlackiestCoreAllocator,
-)
 from repro.experiments.config import ExperimentScale, get_scale
 from repro.experiments.fig1 import build_uav_systems
 from repro.experiments.reporting import format_table, percent
-from repro.experiments.runner import build_hydra_system, spawn_streams
-from repro.metrics.acceptance import AcceptanceCounter
+from repro.experiments.runner import build_hydra_system
 from repro.metrics.cdf import EmpiricalCDF
 from repro.model.platform import Platform
 from repro.opt.branch_bound import branch_bound_optimal
@@ -86,56 +78,77 @@ class AllocatorComparison:
         return [c for c in self.cells if c.scheme == scheme]
 
 
-def _compare_allocators(
-    allocators: list[Allocator],
-    scale: ExperimentScale,
-    cores: int,
-    config: SyntheticConfig | None,
-    seed_offset: int,
-) -> AllocatorComparison:
-    platform = Platform(cores)
-    utils = list(
+def _sweep_utilizations(scale: ExperimentScale, cores: int) -> list[float]:
+    return list(
         utilization_sweep(
-            platform,
+            Platform(cores),
             step_fraction=scale.utilization_step,
             start_fraction=scale.utilization_start,
             stop_fraction=scale.utilization_stop,
         )
     )
+
+
+def _cells_from_payloads(
+    spec: "SweepSpec",
+    payloads,
+    schemes: list[str],
+) -> tuple[AllocatorCell, ...]:
+    """Decode per-point ``{"cells": {scheme: tallies}}`` payloads."""
     cells: list[AllocatorCell] = []
-    streams = spawn_streams(scale.seed + seed_offset, len(utils))
-    for utilization, rng in zip(utils, streams):
-        counters = {a.name: AcceptanceCounter() for a in allocators}
-        tightness_sums = {a.name: 0.0 for a in allocators}
-        for _ in range(scale.tasksets_per_point):
-            workload = generate_workload(platform, utilization, rng, config)
-            system = build_hydra_system(workload)
-            for allocator in allocators:
-                if system is None:
-                    counters[allocator.name].record(False)
-                    continue
-                allocation = allocator.allocate(system)
-                counters[allocator.name].record(allocation.schedulable)
-                if allocation.schedulable:
-                    tightness_sums[allocator.name] += (
-                        allocation.mean_tightness()
-                    )
-        for allocator in allocators:
-            counter = counters[allocator.name]
+    for point, payload in zip(spec.points, payloads):
+        for scheme in schemes:
+            tally = payload["cells"][scheme]
+            accepted = int(tally["accepted"])
             cells.append(
                 AllocatorCell(
-                    scheme=allocator.name,
-                    utilization=utilization,
-                    acceptance=counter.ratio,
+                    scheme=scheme,
+                    utilization=float(point["utilization"]),
+                    acceptance=(
+                        accepted / tally["total"] if tally["total"] else 0.0
+                    ),
                     mean_tightness=(
-                        tightness_sums[allocator.name] / counter.accepted
-                        if counter.accepted
-                        else 0.0
+                        tally["tightness_sum"] / accepted if accepted else 0.0
                     ),
                 )
             )
+    return tuple(cells)
+
+
+def _compare_allocators(
+    allocator_specs: list[str],
+    scale: ExperimentScale,
+    cores: int,
+    config: SyntheticConfig | None,
+    seed_offset: int,
+    engine: "SweepEngine | None" = None,
+) -> AllocatorComparison:
+    from repro.experiments.parallel import (
+        SweepEngine,
+        SweepSpec,
+        synthetic_config_to_dict,
+    )
+
+    engine = engine or SweepEngine()
+    spec = SweepSpec(
+        kind="allocator-comparison",
+        seed=scale.seed + seed_offset,
+        points=tuple(
+            {"utilization": u} for u in _sweep_utilizations(scale, cores)
+        ),
+        params={
+            "cores": cores,
+            "tasksets_per_point": scale.tasksets_per_point,
+            "allocators": list(allocator_specs),
+            "config": (
+                synthetic_config_to_dict(config) if config is not None
+                else None
+            ),
+        },
+    )
+    result = engine.run(spec)
     return AllocatorComparison(
-        cells=tuple(cells),
+        cells=_cells_from_payloads(spec, result.payloads, allocator_specs),
         cores=cores,
         tasksets_per_point=scale.tasksets_per_point,
     )
@@ -145,19 +158,17 @@ def solver_ablation(
     scale: ExperimentScale | None = None,
     cores: int = 2,
     config: SyntheticConfig | None = None,
+    engine: "SweepEngine | None" = None,
 ) -> AllocatorComparison:
     """Linearised Eq. (5) vs exact RTA vs LP-refined periods."""
     scale = scale or get_scale()
     return _compare_allocators(
-        [
-            HydraAllocator(solver="closed-form"),
-            HydraAllocator(solver="exact-rta"),
-            LpRefinedHydraAllocator(),
-        ],
+        ["hydra", "hydra[exact-rta]", "hydra+lp"],
         scale,
         cores,
         config,
         seed_offset=53,
+        engine=engine,
     )
 
 
@@ -165,19 +176,17 @@ def core_choice_ablation(
     scale: ExperimentScale | None = None,
     cores: int = 4,
     config: SyntheticConfig | None = None,
+    engine: "SweepEngine | None" = None,
 ) -> AllocatorComparison:
     """HYDRA's argmax-tightness rule vs cheaper core-selection rules."""
     scale = scale or get_scale()
     return _compare_allocators(
-        [
-            HydraAllocator(),
-            FirstFeasibleAllocator(),
-            SlackiestCoreAllocator(),
-        ],
+        ["hydra", "first-feasible", "slackiest-core"],
         scale,
         cores,
         config,
         seed_offset=67,
+        engine=engine,
     )
 
 
@@ -327,6 +336,7 @@ def partitioning_ablation(
     cores: int = 4,
     config: SyntheticConfig | None = None,
     heuristics: tuple[str, ...] = ("best-fit", "worst-fit", "first-fit"),
+    engine: "SweepEngine | None" = None,
 ) -> AllocatorComparison:
     """How the *real-time* partitioning heuristic shapes HYDRA's room.
 
@@ -338,51 +348,33 @@ def partitioning_ablation(
     spread).  Reported per heuristic: HYDRA acceptance and mean
     tightness, with the heuristic name used as the scheme label.
     """
-    from repro.core.hydra import HydraAllocator
+    from repro.experiments.parallel import (
+        SweepEngine,
+        SweepSpec,
+        synthetic_config_to_dict,
+    )
 
     scale = scale or get_scale()
-    platform = Platform(cores)
-    utils = list(
-        utilization_sweep(
-            platform,
-            step_fraction=scale.utilization_step,
-            start_fraction=scale.utilization_start,
-            stop_fraction=scale.utilization_stop,
-        )
+    engine = engine or SweepEngine()
+    spec = SweepSpec(
+        kind="partitioning",
+        seed=scale.seed + 97,
+        points=tuple(
+            {"utilization": u} for u in _sweep_utilizations(scale, cores)
+        ),
+        params={
+            "cores": cores,
+            "tasksets_per_point": scale.tasksets_per_point,
+            "heuristics": list(heuristics),
+            "config": (
+                synthetic_config_to_dict(config) if config is not None
+                else None
+            ),
+        },
     )
-    allocator = HydraAllocator()
-    cells: list[AllocatorCell] = []
-    streams = spawn_streams(scale.seed + 97, len(utils))
-    for utilization, rng in zip(utils, streams):
-        counters = {h: AcceptanceCounter() for h in heuristics}
-        tightness_sums = {h: 0.0 for h in heuristics}
-        for _ in range(scale.tasksets_per_point):
-            workload = generate_workload(platform, utilization, rng, config)
-            for heuristic in heuristics:
-                system = build_hydra_system(workload, heuristic=heuristic)
-                if system is None:
-                    counters[heuristic].record(False)
-                    continue
-                allocation = allocator.allocate(system)
-                counters[heuristic].record(allocation.schedulable)
-                if allocation.schedulable:
-                    tightness_sums[heuristic] += allocation.mean_tightness()
-        for heuristic in heuristics:
-            counter = counters[heuristic]
-            cells.append(
-                AllocatorCell(
-                    scheme=heuristic,
-                    utilization=utilization,
-                    acceptance=counter.ratio,
-                    mean_tightness=(
-                        tightness_sums[heuristic] / counter.accepted
-                        if counter.accepted
-                        else 0.0
-                    ),
-                )
-            )
+    result = engine.run(spec)
     return AllocatorComparison(
-        cells=tuple(cells),
+        cells=_cells_from_payloads(spec, result.payloads, list(heuristics)),
         cores=cores,
         tasksets_per_point=scale.tasksets_per_point,
     )

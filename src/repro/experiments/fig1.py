@@ -48,8 +48,10 @@ __all__ = [
     "Fig1Point",
     "Fig1Result",
     "run_fig1",
+    "fig1_sweep_spec",
     "format_fig1",
     "build_uav_systems",
+    "observe_detections",
 ]
 
 
@@ -134,18 +136,21 @@ def build_uav_systems(
     return hydra_system, hydra_alloc, single_system, single_alloc
 
 
-def _observe(
+def observe_detections(
     system: SystemModel,
     allocation: Allocation,
-    scale: ExperimentScale,
+    sim_duration: float,
+    sim_trials: int,
     rng: np.random.Generator,
-    policy: str,
-    release_jitter: float,
+    policy: str = "release-after",
+    release_jitter: float = 0.0,
 ) -> tuple[float, ...]:
+    """Simulate ``allocation`` and measure ``sim_trials`` attack
+    detections (the Fig. 1 observation protocol)."""
     result = simulate_allocation(
         system,
         allocation,
-        duration=scale.sim_duration,
+        duration=sim_duration,
         rng=rng,
         release_jitter=release_jitter,
         prune_idle_cores=True,
@@ -153,9 +158,9 @@ def _observe(
     # Leave room after the last attack for the slowest monitor to fire:
     # one maximum period plus a generous response allowance.
     tail = max(a.period for a in allocation.assignments) * 2.0
-    window_end = max(scale.sim_duration - tail, scale.sim_duration * 0.25)
+    window_end = max(sim_duration - tail, sim_duration * 0.25)
     attacks = sample_attacks(
-        scale.sim_trials,
+        sim_trials,
         (0.0, window_end),
         surfaces_of(system.security_tasks),
         rng=rng,
@@ -165,36 +170,66 @@ def _observe(
     )
 
 
+def fig1_sweep_spec(
+    scale: ExperimentScale,
+    policy: str = "release-after",
+    release_jitter: float = 0.0,
+) -> "SweepSpec":
+    """The Fig. 1 case study as a sweep over core counts."""
+    from repro.experiments.parallel import SweepSpec
+
+    return SweepSpec(
+        kind="uav-detection",
+        seed=scale.seed,
+        points=tuple(
+            {"cores": cores}
+            for cores in scale.core_counts
+            if cores >= 2  # SingleCore needs a spare core
+        ),
+        params={
+            "seed": scale.seed,
+            "sim_duration": scale.sim_duration,
+            "sim_trials": scale.sim_trials,
+            "policy": policy,
+            "release_jitter": release_jitter,
+        },
+    )
+
+
 def run_fig1(
     scale: ExperimentScale | None = None,
     policy: str = "release-after",
     release_jitter: float = 0.0,
+    engine: "SweepEngine | None" = None,
 ) -> Fig1Result:
-    """Run the case study at the given scale."""
+    """Run the case study at the given scale.
+
+    ``engine`` selects the execution strategy (workers, cache); the
+    default is a serial, uncached :class:`SweepEngine`.  Results are
+    engine-independent.
+    """
+    from repro.experiments.parallel import SweepEngine
+
     scale = scale or get_scale()
-    points: list[Fig1Point] = []
-    for cores in scale.core_counts:
-        if cores < 2:
-            continue  # SingleCore needs a spare core
-        hydra_system, hydra_alloc, single_system, single_alloc = (
-            build_uav_systems(cores)
+    engine = engine or SweepEngine()
+    if all(cores < 2 for cores in scale.core_counts):
+        # Degenerate but valid: SingleCore needs a spare core, so there
+        # is no panel to run (the pre-engine loop returned empty too).
+        return Fig1Result(points=(), scale=scale.name)
+    spec = fig1_sweep_spec(scale, policy=policy, release_jitter=release_jitter)
+    result = engine.run(spec)
+    points = [
+        Fig1Point(
+            cores=int(payload["cores"]),
+            hydra=Fig1SchemeResult(
+                scheme="hydra", times=tuple(payload["hydra_times"])
+            ),
+            single=Fig1SchemeResult(
+                scheme="singlecore", times=tuple(payload["single_times"])
+            ),
         )
-        rng = np.random.default_rng(scale.seed + 100 + cores)
-        hydra_times = _observe(
-            hydra_system, hydra_alloc, scale, rng, policy, release_jitter
-        )
-        single_times = _observe(
-            single_system, single_alloc, scale, rng, policy, release_jitter
-        )
-        points.append(
-            Fig1Point(
-                cores=cores,
-                hydra=Fig1SchemeResult(scheme="hydra", times=hydra_times),
-                single=Fig1SchemeResult(
-                    scheme="singlecore", times=single_times
-                ),
-            )
-        )
+        for payload in result.payloads
+    ]
     return Fig1Result(points=tuple(points), scale=scale.name)
 
 

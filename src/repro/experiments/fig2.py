@@ -14,13 +14,18 @@ from dataclasses import dataclass
 
 from repro.experiments.config import ExperimentScale, get_scale
 from repro.experiments.reporting import format_series, format_table, percent
-from repro.experiments.runner import run_acceptance_trial, spawn_streams
 from repro.metrics.acceptance import AcceptanceCounter
 from repro.metrics.improvement import acceptance_improvement
 from repro.model.platform import Platform
 from repro.taskgen.synthetic import SyntheticConfig, utilization_sweep
 
-__all__ = ["Fig2Point", "Fig2Result", "run_fig2", "format_fig2"]
+__all__ = [
+    "Fig2Point",
+    "Fig2Result",
+    "run_fig2",
+    "fig2_sweep_spec",
+    "format_fig2",
+]
 
 
 @dataclass(frozen=True)
@@ -58,37 +63,70 @@ class Fig2Result:
         return sorted({p.cores for p in self.points})
 
 
+def fig2_sweep_spec(
+    cores: int,
+    scale: ExperimentScale,
+    config: SyntheticConfig | None = None,
+) -> "SweepSpec":
+    """One Fig. 2 panel (one core count) as an acceptance sweep.
+
+    The seed (``scale.seed + cores``) and per-point SeedSequence
+    streams match what the serial seed code consumed, so engine runs
+    reproduce the historical results bit-for-bit.
+    """
+    from repro.experiments.parallel import SweepSpec, synthetic_config_to_dict
+
+    platform = Platform(cores)
+    utils = utilization_sweep(
+        platform,
+        step_fraction=scale.utilization_step,
+        start_fraction=scale.utilization_start,
+        stop_fraction=scale.utilization_stop,
+    )
+    return SweepSpec(
+        kind="acceptance",
+        seed=scale.seed + cores,
+        points=tuple({"utilization": u} for u in utils),
+        params={
+            "cores": cores,
+            "tasksets_per_point": scale.tasksets_per_point,
+            "config": (
+                synthetic_config_to_dict(config) if config is not None
+                else None
+            ),
+        },
+    )
+
+
 def run_fig2(
     scale: ExperimentScale | None = None,
     config: SyntheticConfig | None = None,
+    engine: "SweepEngine | None" = None,
 ) -> Fig2Result:
-    """Run the full Fig. 2 sweep at the given scale."""
+    """Run the full Fig. 2 sweep at the given scale.
+
+    ``engine`` selects the execution strategy (workers, cache); the
+    default is a serial, uncached :class:`SweepEngine`.  Results are
+    engine-independent.
+    """
+    from repro.experiments.parallel import SweepEngine, acceptance_outcomes
+
     scale = scale or get_scale()
+    engine = engine or SweepEngine()
     points: list[Fig2Point] = []
     for cores in scale.core_counts:
-        platform = Platform(cores)
-        utils = list(
-            utilization_sweep(
-                platform,
-                step_fraction=scale.utilization_step,
-                start_fraction=scale.utilization_start,
-                stop_fraction=scale.utilization_stop,
-            )
-        )
-        streams = spawn_streams(scale.seed + cores, len(utils))
-        for utilization, rng in zip(utils, streams):
+        spec = fig2_sweep_spec(cores, scale, config)
+        result = engine.run(spec)
+        for point, payload in zip(spec.points, result.payloads):
             hydra_counter = AcceptanceCounter()
             single_counter = AcceptanceCounter()
-            for _ in range(scale.tasksets_per_point):
-                outcome = run_acceptance_trial(
-                    platform, utilization, rng, config=config
-                )
+            for outcome in acceptance_outcomes(payload):
                 hydra_counter.record(outcome.hydra_schedulable)
                 single_counter.record(outcome.single_schedulable)
             points.append(
                 Fig2Point(
                     cores=cores,
-                    utilization=utilization,
+                    utilization=float(point["utilization"]),
                     ratio_hydra=hydra_counter.ratio,
                     ratio_single=single_counter.ratio,
                     tasksets=scale.tasksets_per_point,

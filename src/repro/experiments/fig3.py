@@ -16,20 +16,18 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.hydra import HydraAllocator
-from repro.core.optimal import OptimalAllocator
 from repro.experiments.config import ExperimentScale, get_scale
 from repro.experiments.reporting import format_series, format_table, percent
-from repro.experiments.runner import build_hydra_system, spawn_streams
-from repro.metrics.improvement import tightness_gap
 from repro.model.platform import Platform
-from repro.taskgen.synthetic import (
-    SyntheticConfig,
-    generate_workload,
-    utilization_sweep,
-)
+from repro.taskgen.synthetic import SyntheticConfig, utilization_sweep
 
-__all__ = ["Fig3Point", "Fig3Result", "run_fig3", "format_fig3"]
+__all__ = [
+    "Fig3Point",
+    "Fig3Result",
+    "run_fig3",
+    "fig3_sweep_spec",
+    "format_fig3",
+]
 
 #: Fig. 3's platform and security-task range.
 _FIG3_CORES = 2
@@ -59,60 +57,64 @@ class Fig3Result:
         return max(gaps, default=0.0)
 
 
+def fig3_sweep_spec(
+    scale: ExperimentScale,
+    search: str = "branch-bound",
+    config: SyntheticConfig | None = None,
+) -> "SweepSpec":
+    """The Fig. 3 HYDRA-vs-OPT comparison as a sweep."""
+    from repro.experiments.parallel import SweepSpec, synthetic_config_to_dict
+
+    platform = Platform(_FIG3_CORES)
+    if config is None:
+        config = SyntheticConfig(security_task_count=_FIG3_SECURITY_COUNT)
+    utils = utilization_sweep(
+        platform,
+        step_fraction=scale.utilization_step,
+        start_fraction=scale.utilization_start,
+        stop_fraction=scale.utilization_stop,
+    )
+    return SweepSpec(
+        kind="fig3-gap",
+        seed=scale.seed + 31,
+        points=tuple({"utilization": u} for u in utils),
+        params={
+            "cores": _FIG3_CORES,
+            "tasksets_per_point": scale.fig3_tasksets_per_point,
+            "search": search,
+            "config": synthetic_config_to_dict(config),
+        },
+    )
+
+
 def run_fig3(
     scale: ExperimentScale | None = None,
     search: str = "branch-bound",
     config: SyntheticConfig | None = None,
+    engine: "SweepEngine | None" = None,
 ) -> Fig3Result:
     """Run the Fig. 3 comparison at the given scale.
 
     ``search`` selects the optimal-search implementation; both return
     identical optima (tested), branch-and-bound is simply faster.
+    ``engine`` selects the execution strategy (workers, cache).
     """
-    scale = scale or get_scale()
-    platform = Platform(_FIG3_CORES)
-    if config is None:
-        config = SyntheticConfig(security_task_count=_FIG3_SECURITY_COUNT)
-    hydra = HydraAllocator()
-    optimal = OptimalAllocator(search=search)
+    from repro.experiments.parallel import SweepEngine
 
-    utils = list(
-        utilization_sweep(
-            platform,
-            step_fraction=scale.utilization_step,
-            start_fraction=scale.utilization_start,
-            stop_fraction=scale.utilization_stop,
-        )
-    )
-    streams = spawn_streams(scale.seed + 31, len(utils))
+    scale = scale or get_scale()
+    engine = engine or SweepEngine()
+    spec = fig3_sweep_spec(scale, search=search, config=config)
+    result = engine.run(spec)
     points: list[Fig3Point] = []
-    for utilization, rng in zip(utils, streams):
-        gaps: list[float] = []
-        hydra_failures = 0
-        for _ in range(scale.fig3_tasksets_per_point):
-            workload = generate_workload(platform, utilization, rng, config)
-            system = build_hydra_system(workload)
-            if system is None:
-                continue  # unschedulable for both: nothing to compare
-            opt_alloc = optimal.allocate(system)
-            if not opt_alloc.schedulable:
-                continue
-            eta_opt = opt_alloc.cumulative_tightness()
-            hydra_alloc = hydra.allocate(system)
-            if not hydra_alloc.schedulable:
-                gaps.append(100.0)
-                hydra_failures += 1
-                continue
-            gaps.append(
-                tightness_gap(eta_opt, hydra_alloc.cumulative_tightness())
-            )
+    for point, payload in zip(spec.points, result.payloads):
+        gaps = [float(g) for g in payload["gaps"]]
         points.append(
             Fig3Point(
-                utilization=utilization,
+                utilization=float(point["utilization"]),
                 mean_gap=sum(gaps) / len(gaps) if gaps else 0.0,
                 max_gap=max(gaps, default=0.0),
                 compared=len(gaps),
-                hydra_failures=hydra_failures,
+                hydra_failures=int(payload["hydra_failures"]),
             )
         )
     return Fig3Result(points=tuple(points), scale=scale.name, search=search)

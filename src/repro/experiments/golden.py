@@ -1,0 +1,129 @@
+"""Golden-regression fixtures: small fixed-seed experiment summaries.
+
+The sweep engine's correctness story rests on reproducibility: the
+same spec must yield the same trials on any worker count, any run, any
+machine with the same numpy.  These helpers define two deliberately
+small fixed-seed experiments — a Fig. 2-style acceptance curve and a
+Fig. 1-style detection-time sample — and summarise their results in a
+JSON-stable form that is checked into the repository
+(``tests/experiments/golden/``).
+
+The summaries pin two layers:
+
+* aggregate numbers a human can review (acceptance counts per point,
+  detection-time samples), and
+* a sha256 over the canonical JSON of the *full* per-point payloads —
+  every generated task set's allocation verdict, every assigned
+  period — so even a change that happens to preserve the aggregates
+  fails loudly.
+
+Regenerate after an *intended* behaviour change with::
+
+    PYTHONPATH=src python tools/regen_golden.py
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+from repro.experiments.config import SCALES, ExperimentScale
+from repro.experiments.fig1 import fig1_sweep_spec
+from repro.experiments.fig2 import fig2_sweep_spec
+from repro.experiments.parallel import (
+    SweepEngine,
+    SweepSpec,
+    acceptance_outcomes,
+)
+
+__all__ = [
+    "GOLDEN_FIXTURES",
+    "fig2_mini_spec",
+    "fig1_mini_spec",
+    "golden_summary",
+]
+
+
+def fig2_mini_spec() -> SweepSpec:
+    """3 utilisation points × 50 task sets on 2 cores, paper seed."""
+    scale = ExperimentScale(
+        name="golden-mini",
+        tasksets_per_point=50,
+        utilization_step=0.25,
+        utilization_start=0.25,
+        utilization_stop=0.75,
+        core_counts=(2,),
+        sim_trials=8,
+        sim_duration=30_000.0,
+        fig3_tasksets_per_point=3,
+    )
+    return fig2_sweep_spec(2, scale)
+
+
+def fig1_mini_spec() -> SweepSpec:
+    """The 2-core UAV case study with a short simulated horizon."""
+    scale = SCALES["smoke"].with_overrides(
+        sim_trials=20, core_counts=(2,)
+    )
+    return fig1_sweep_spec(scale)
+
+
+def _payload_sha256(payloads) -> str:
+    canonical = json.dumps(list(payloads), sort_keys=True,
+                           separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def _fig2_aggregate(spec: SweepSpec, payloads) -> list[dict[str, Any]]:
+    points = []
+    for point, payload in zip(spec.points, payloads):
+        outcomes = acceptance_outcomes(payload)
+        points.append(
+            {
+                "utilization": point["utilization"],
+                "tasksets": len(outcomes),
+                "accepted_hydra": sum(
+                    o.hydra_schedulable for o in outcomes
+                ),
+                "accepted_single": sum(
+                    o.single_schedulable for o in outcomes
+                ),
+            }
+        )
+    return points
+
+
+def _fig1_aggregate(spec: SweepSpec, payloads) -> list[dict[str, Any]]:
+    return [
+        {
+            "cores": payload["cores"],
+            "hydra_times": payload["hydra_times"],
+            "single_times": payload["single_times"],
+        }
+        for payload in payloads
+    ]
+
+
+#: name → (spec builder, aggregate summariser); one golden JSON each.
+GOLDEN_FIXTURES = {
+    "fig2_mini": (fig2_mini_spec, _fig2_aggregate),
+    "fig1_mini": (fig1_mini_spec, _fig1_aggregate),
+}
+
+
+def golden_summary(
+    name: str, engine: SweepEngine | None = None
+) -> dict[str, Any]:
+    """Run the named golden experiment and summarise it for comparison
+    against (or regeneration of) its checked-in fixture."""
+    build_spec, aggregate = GOLDEN_FIXTURES[name]
+    spec = build_spec()
+    result = (engine or SweepEngine()).run(spec)
+    return {
+        "name": name,
+        "kind": spec.kind,
+        "seed": spec.seed,
+        "points": aggregate(spec, result.payloads),
+        "payload_sha256": _payload_sha256(result.payloads),
+    }

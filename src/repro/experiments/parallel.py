@@ -1,0 +1,607 @@
+"""Parallel, cached, resumable sweep engine for the experiments.
+
+The paper's evaluation is a Monte-Carlo sweep: thousands of synthetic
+task sets spread over a grid of utilisation points (Figs. 2–3) or a
+handful of platform sizes (Fig. 1, Table I).  The seed code ran every
+trial serially; this module makes the *utilisation point* the unit of
+work and fans points out over a :class:`concurrent.futures.ProcessPoolExecutor`.
+
+Determinism is the design anchor:
+
+* every point ``i`` of a sweep draws its randomness from the
+  :class:`numpy.random.SeedSequence` child ``spawn(i)`` of the sweep
+  seed — exactly the streams the serial code used via
+  :func:`repro.experiments.runner.spawn_streams` — so serial and
+  parallel runs produce **identical** trial sequences;
+* every point's result is a plain-JSON payload, which makes results
+  byte-comparable across worker counts and cacheable on disk
+  (:class:`repro.experiments.cache.ResultCache`): re-runs and extended
+  sweeps only compute the points that are missing.
+
+Experiment kinds are *registered point runners* — top-level functions
+(picklable by name) taking ``(point, params, rng)`` and returning a
+JSON payload.  The figure drivers build :class:`SweepSpec` objects and
+feed them through a shared :class:`SweepEngine`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from itertools import repeat
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.experiments.cache import CACHE_FORMAT, ResultCache
+from repro.experiments.runner import TrialOutcome, run_acceptance_trial
+from repro.io import allocation_from_dict, allocation_to_dict
+from repro.model.platform import Platform
+from repro.taskgen.synthetic import SyntheticConfig
+
+__all__ = [
+    "SweepSpec",
+    "SweepStats",
+    "SweepResult",
+    "SweepEngine",
+    "register_point_runner",
+    "get_point_runner",
+    "execute_point",
+    "outcome_to_dict",
+    "outcome_from_dict",
+    "synthetic_config_to_dict",
+    "synthetic_config_from_dict",
+    "build_allocator",
+]
+
+
+# -- serialisation helpers ---------------------------------------------------
+
+
+def outcome_to_dict(outcome: TrialOutcome) -> dict[str, Any]:
+    """JSON form of one :class:`TrialOutcome` (both schemes' verdicts)."""
+    return {
+        "utilization": outcome.utilization,
+        "hydra": (
+            allocation_to_dict(outcome.hydra)
+            if outcome.hydra is not None
+            else None
+        ),
+        "single": (
+            allocation_to_dict(outcome.single)
+            if outcome.single is not None
+            else None
+        ),
+    }
+
+
+def outcome_from_dict(data: Mapping[str, Any]) -> TrialOutcome:
+    """Inverse of :func:`outcome_to_dict`."""
+    return TrialOutcome(
+        utilization=float(data["utilization"]),
+        hydra=(
+            allocation_from_dict(data["hydra"])
+            if data.get("hydra") is not None
+            else None
+        ),
+        single=(
+            allocation_from_dict(data["single"])
+            if data.get("single") is not None
+            else None
+        ),
+    )
+
+
+def synthetic_config_to_dict(config: SyntheticConfig) -> dict[str, Any]:
+    """JSON form of a :class:`SyntheticConfig` (tuples become lists)."""
+    return dataclasses.asdict(config)
+
+
+def synthetic_config_from_dict(data: Mapping[str, Any]) -> SyntheticConfig:
+    """Inverse of :func:`synthetic_config_to_dict`."""
+    kwargs: dict[str, Any] = dict(data)
+    for key, value in kwargs.items():
+        if isinstance(value, list):
+            kwargs[key] = tuple(value)
+    return SyntheticConfig(**kwargs)
+
+
+def _config_from_params(params: Mapping[str, Any]) -> SyntheticConfig | None:
+    raw = params.get("config")
+    return synthetic_config_from_dict(raw) if raw is not None else None
+
+
+# -- allocator registry ------------------------------------------------------
+
+#: Allocation-scheme factories by spec string.  Spec strings equal the
+#: allocators' ``name`` attributes so report labels survive the trip
+#: through a JSON sweep spec.
+_ALLOCATOR_FACTORIES: dict[str, Callable[[], Any]] = {}
+
+
+def _register_allocators() -> None:
+    if _ALLOCATOR_FACTORIES:
+        return
+    from repro.core.hydra import HydraAllocator
+    from repro.core.variants import (
+        FirstFeasibleAllocator,
+        LpRefinedHydraAllocator,
+        SlackiestCoreAllocator,
+    )
+
+    _ALLOCATOR_FACTORIES.update(
+        {
+            "hydra": HydraAllocator,
+            "hydra[exact-rta]": lambda: HydraAllocator(solver="exact-rta"),
+            "hydra+lp": LpRefinedHydraAllocator,
+            "first-feasible": FirstFeasibleAllocator,
+            "slackiest-core": SlackiestCoreAllocator,
+        }
+    )
+
+
+def build_allocator(spec: str):
+    """Instantiate an allocation scheme from its spec string.
+
+    Known specs: ``hydra``, ``hydra[exact-rta]``, ``hydra+lp``,
+    ``first-feasible``, ``slackiest-core``.
+    """
+    _register_allocators()
+    try:
+        factory = _ALLOCATOR_FACTORIES[spec]
+    except KeyError:
+        raise ValidationError(
+            f"unknown allocator spec {spec!r}; expected one of "
+            f"{sorted(_ALLOCATOR_FACTORIES)}"
+        ) from None
+    return factory()
+
+
+# -- sweep specification -----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A deterministic, JSON-serialisable description of one sweep.
+
+    Attributes
+    ----------
+    kind:
+        Registered point-runner name (e.g. ``"acceptance"``).
+    seed:
+        Sweep seed; point ``i`` uses SeedSequence child ``spawn(i)``.
+    points:
+        Per-point parameter dicts (JSON values only), e.g.
+        ``{"utilization": 1.3}``.  Appending points to a sweep keeps
+        the earlier points' streams — and cache entries — valid.
+    params:
+        Parameters shared by every point (JSON values only).
+    """
+
+    kind: str
+    seed: int
+    points: tuple[Mapping[str, Any], ...]
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise ValidationError("a sweep needs at least one point")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "seed": self.seed,
+            "points": [dict(p) for p in self.points],
+            "params": dict(self.params),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SweepSpec":
+        return cls(
+            kind=data["kind"],
+            seed=int(data["seed"]),
+            points=tuple(dict(p) for p in data["points"]),
+            params=dict(data.get("params", {})),
+        )
+
+    def key_payload(self, index: int) -> dict[str, Any]:
+        """Everything that determines point ``index``'s result.
+
+        Deliberately excludes the *number* of points: SeedSequence
+        children depend only on the child index, so extending a sweep
+        with more points leaves existing entries reusable.
+        """
+        return {
+            "format": CACHE_FORMAT,
+            "kind": self.kind,
+            "seed": self.seed,
+            "index": index,
+            "point": dict(self.points[index]),
+            "params": dict(self.params),
+        }
+
+    def rng_for(self, index: int) -> np.random.Generator:
+        """The deterministic stream of point ``index`` (serial ≡ parallel)."""
+        children = np.random.SeedSequence(self.seed).spawn(index + 1)
+        return np.random.default_rng(children[index])
+
+
+# -- point-runner registry ---------------------------------------------------
+
+#: ``runner(point, params, rng) -> JSON payload``.
+PointRunner = Callable[
+    [Mapping[str, Any], Mapping[str, Any], np.random.Generator],
+    Mapping[str, Any],
+]
+
+_POINT_RUNNERS: dict[str, PointRunner] = {}
+
+
+def register_point_runner(
+    kind: str,
+) -> Callable[[PointRunner], PointRunner]:
+    """Register a point runner under ``kind`` (decorator).
+
+    Runners must be top-level functions: worker processes look them up
+    by kind, so they need to be importable, and their payloads must be
+    plain JSON so results cache and compare byte-identically.
+    """
+
+    def decorate(fn: PointRunner) -> PointRunner:
+        if kind in _POINT_RUNNERS:
+            raise ValidationError(f"point runner {kind!r} already registered")
+        _POINT_RUNNERS[kind] = fn
+        return fn
+
+    return decorate
+
+
+def get_point_runner(kind: str) -> PointRunner:
+    try:
+        return _POINT_RUNNERS[kind]
+    except KeyError:
+        raise ValidationError(
+            f"unknown sweep kind {kind!r}; expected one of "
+            f"{sorted(_POINT_RUNNERS)}"
+        ) from None
+
+
+def execute_point(spec: SweepSpec, index: int) -> dict[str, Any]:
+    """Compute point ``index`` of ``spec`` (in-process)."""
+    runner = get_point_runner(spec.kind)
+    payload = runner(dict(spec.points[index]), dict(spec.params),
+                     spec.rng_for(index))
+    return dict(payload)
+
+
+def _execute_point_job(spec_dict: dict[str, Any], index: int) -> dict[str, Any]:
+    """Worker-side entry: rebuild the spec from JSON and run one point."""
+    return execute_point(SweepSpec.from_dict(spec_dict), index)
+
+
+# -- built-in point runners --------------------------------------------------
+
+
+@register_point_runner("acceptance")
+def run_acceptance_point(
+    point: Mapping[str, Any],
+    params: Mapping[str, Any],
+    rng: np.random.Generator,
+) -> dict[str, Any]:
+    """``tasksets_per_point`` HYDRA-vs-SingleCore trials at one
+    utilisation (the Fig. 2 / quality-sweep workhorse)."""
+    platform = Platform(int(params["cores"]))
+    config = _config_from_params(params)
+    outcomes = []
+    for _ in range(int(params["tasksets_per_point"])):
+        outcome = run_acceptance_trial(
+            platform,
+            float(point["utilization"]),
+            rng,
+            config=config,
+            heuristic=params.get("heuristic", "best-fit"),
+            admission=params.get("admission", "rta"),
+        )
+        outcomes.append(outcome_to_dict(outcome))
+    return {"outcomes": outcomes}
+
+
+def acceptance_outcomes(payload: Mapping[str, Any]) -> list[TrialOutcome]:
+    """Decode an ``acceptance`` payload back into trial outcomes."""
+    return [outcome_from_dict(d) for d in payload["outcomes"]]
+
+
+@register_point_runner("fig3-gap")
+def run_fig3_point(
+    point: Mapping[str, Any],
+    params: Mapping[str, Any],
+    rng: np.random.Generator,
+) -> dict[str, Any]:
+    """HYDRA-vs-OPT tightness gaps at one utilisation (Fig. 3)."""
+    from repro.core.hydra import HydraAllocator
+    from repro.core.optimal import OptimalAllocator
+    from repro.experiments.runner import build_hydra_system
+    from repro.metrics.improvement import tightness_gap
+    from repro.taskgen.synthetic import generate_workload
+
+    platform = Platform(int(params["cores"]))
+    config = _config_from_params(params)
+    hydra = HydraAllocator()
+    optimal = OptimalAllocator(search=params.get("search", "branch-bound"))
+    gaps: list[float] = []
+    hydra_failures = 0
+    for _ in range(int(params["tasksets_per_point"])):
+        workload = generate_workload(
+            platform, float(point["utilization"]), rng, config
+        )
+        system = build_hydra_system(workload)
+        if system is None:
+            continue  # unschedulable for both: nothing to compare
+        opt_alloc = optimal.allocate(system)
+        if not opt_alloc.schedulable:
+            continue
+        eta_opt = opt_alloc.cumulative_tightness()
+        hydra_alloc = hydra.allocate(system)
+        if not hydra_alloc.schedulable:
+            gaps.append(100.0)
+            hydra_failures += 1
+            continue
+        gaps.append(tightness_gap(eta_opt, hydra_alloc.cumulative_tightness()))
+    return {"gaps": gaps, "hydra_failures": hydra_failures}
+
+
+@register_point_runner("uav-detection")
+def run_uav_detection_point(
+    point: Mapping[str, Any],
+    params: Mapping[str, Any],
+    rng: np.random.Generator,
+) -> dict[str, Any]:
+    """Simulated attack-detection times for one core count (Fig. 1).
+
+    Ignores the engine-provided stream: Fig. 1's RNG is historically
+    derived as ``default_rng(seed + 100 + cores)`` shared across both
+    schemes, and keeping that derivation preserves the seed results
+    bit-for-bit.
+    """
+    from repro.experiments.fig1 import build_uav_systems, observe_detections
+
+    cores = int(point["cores"])
+    hydra_system, hydra_alloc, single_system, single_alloc = (
+        build_uav_systems(cores)
+    )
+    fig1_rng = np.random.default_rng(int(params["seed"]) + 100 + cores)
+    observe = dict(
+        sim_duration=float(params["sim_duration"]),
+        sim_trials=int(params["sim_trials"]),
+        policy=params.get("policy", "release-after"),
+        release_jitter=float(params.get("release_jitter", 0.0)),
+    )
+    hydra_times = observe_detections(
+        hydra_system, hydra_alloc, rng=fig1_rng, **observe
+    )
+    single_times = observe_detections(
+        single_system, single_alloc, rng=fig1_rng, **observe
+    )
+    return {
+        "cores": cores,
+        "hydra_times": list(hydra_times),
+        "single_times": list(single_times),
+    }
+
+
+@register_point_runner("table1")
+def run_table1_point(
+    point: Mapping[str, Any],
+    params: Mapping[str, Any],
+    rng: np.random.Generator,
+) -> dict[str, Any]:
+    """The extended Table I rows for one UAV platform size."""
+    from repro.experiments.fig1 import build_uav_systems
+    from repro.taskgen.security_apps import TABLE1_SPECS
+
+    _, hydra_alloc, _, single_alloc = build_uav_systems(int(point["cores"]))
+    rows = []
+    for spec in TABLE1_SPECS:
+        hydra_assignment = hydra_alloc.assignment_for(spec.name)
+        single_assignment = single_alloc.assignment_for(spec.name)
+        rows.append(
+            {
+                "name": spec.name,
+                "application": spec.application,
+                "function": spec.function,
+                "surface": spec.surface,
+                "wcet": spec.wcet,
+                "period_des": spec.period_des,
+                "period_max": spec.period_max,
+                "hydra_core": hydra_assignment.core,
+                "hydra_period": hydra_assignment.period,
+                "single_period": single_assignment.period,
+            }
+        )
+    return {"rows": rows}
+
+
+@register_point_runner("allocator-comparison")
+def run_allocator_comparison_point(
+    point: Mapping[str, Any],
+    params: Mapping[str, Any],
+    rng: np.random.Generator,
+) -> dict[str, Any]:
+    """Acceptance/tightness of several allocators on shared task sets
+    at one utilisation (solver and core-choice ablations)."""
+    from repro.experiments.runner import build_hydra_system
+    from repro.taskgen.synthetic import generate_workload
+
+    platform = Platform(int(params["cores"]))
+    config = _config_from_params(params)
+    allocators = [build_allocator(s) for s in params["allocators"]]
+    cells = {
+        a.name: {"accepted": 0, "total": 0, "tightness_sum": 0.0}
+        for a in allocators
+    }
+    for _ in range(int(params["tasksets_per_point"])):
+        workload = generate_workload(
+            platform, float(point["utilization"]), rng, config
+        )
+        system = build_hydra_system(workload)
+        for allocator in allocators:
+            cell = cells[allocator.name]
+            cell["total"] += 1
+            if system is None:
+                continue
+            allocation = allocator.allocate(system)
+            if allocation.schedulable:
+                cell["accepted"] += 1
+                cell["tightness_sum"] += allocation.mean_tightness()
+    return {"cells": cells}
+
+
+@register_point_runner("partitioning")
+def run_partitioning_point(
+    point: Mapping[str, Any],
+    params: Mapping[str, Any],
+    rng: np.random.Generator,
+) -> dict[str, Any]:
+    """HYDRA acceptance/tightness under different real-time
+    partitioning heuristics on shared task sets (partitioning
+    ablation)."""
+    from repro.core.hydra import HydraAllocator
+    from repro.experiments.runner import build_hydra_system
+    from repro.taskgen.synthetic import generate_workload
+
+    platform = Platform(int(params["cores"]))
+    config = _config_from_params(params)
+    heuristics = list(params["heuristics"])
+    allocator = HydraAllocator()
+    cells = {
+        h: {"accepted": 0, "total": 0, "tightness_sum": 0.0}
+        for h in heuristics
+    }
+    for _ in range(int(params["tasksets_per_point"])):
+        workload = generate_workload(
+            platform, float(point["utilization"]), rng, config
+        )
+        for heuristic in heuristics:
+            cell = cells[heuristic]
+            cell["total"] += 1
+            system = build_hydra_system(workload, heuristic=heuristic)
+            if system is None:
+                continue
+            allocation = allocator.allocate(system)
+            if allocation.schedulable:
+                cell["accepted"] += 1
+                cell["tightness_sum"] += allocation.mean_tightness()
+    return {"cells": cells}
+
+
+# -- the engine --------------------------------------------------------------
+
+
+@dataclass
+class SweepStats:
+    """Where a sweep's points came from."""
+
+    computed_points: int = 0
+    cached_points: int = 0
+
+    @property
+    def total_points(self) -> int:
+        return self.computed_points + self.cached_points
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Ordered per-point payloads of one sweep."""
+
+    spec: SweepSpec
+    payloads: tuple[Mapping[str, Any], ...]
+    stats: SweepStats
+
+    def __len__(self) -> int:
+        return len(self.payloads)
+
+
+class SweepEngine:
+    """Runs :class:`SweepSpec` sweeps — serially or over a process pool,
+    optionally backed by an on-disk :class:`ResultCache`.
+
+    Parameters
+    ----------
+    workers:
+        ``None``/``0``/``1`` → serial in-process execution; ``n > 1`` →
+        a :class:`ProcessPoolExecutor` with ``n`` workers, one
+        utilisation point per task.  Results are identical either way
+        (per-point SeedSequence streams).
+    cache:
+        A :class:`ResultCache`, a directory path, or ``None`` to
+        disable caching.
+    on_point_computed:
+        Optional hook called (in the parent process) with the point
+        index after each point is *computed* — cache hits do not fire
+        it.  The determinism tests use it to prove warm runs recompute
+        nothing.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        cache: ResultCache | str | None = None,
+        on_point_computed: Callable[[int], None] | None = None,
+    ) -> None:
+        if workers is not None and workers < 0:
+            raise ValidationError(f"workers must be >= 0, got {workers}")
+        self.workers = max(1, int(workers or 1))
+        if cache is not None and not isinstance(cache, ResultCache):
+            cache = ResultCache(cache)
+        self.cache = cache
+        self.on_point_computed = on_point_computed
+
+    def run(self, spec: SweepSpec) -> SweepResult:
+        """Execute ``spec``, returning per-point payloads in order."""
+        stats = SweepStats()
+        payloads: list[Mapping[str, Any] | None] = [None] * len(spec.points)
+
+        missing: list[int] = []
+        for index in range(len(spec.points)):
+            cached = (
+                self.cache.get(spec.kind, spec.key_payload(index))
+                if self.cache is not None
+                else None
+            )
+            if cached is not None:
+                payloads[index] = cached
+                stats.cached_points += 1
+            else:
+                missing.append(index)
+
+        if missing:
+            for index, payload in self._compute(spec, missing):
+                payloads[index] = payload
+                stats.computed_points += 1
+                if self.cache is not None:
+                    self.cache.put(spec.kind, spec.key_payload(index), payload)
+                if self.on_point_computed is not None:
+                    self.on_point_computed(index)
+
+        return SweepResult(
+            spec=spec,
+            payloads=tuple(payloads),  # type: ignore[arg-type]
+            stats=stats,
+        )
+
+    def _compute(
+        self, spec: SweepSpec, indices: Sequence[int]
+    ) -> list[tuple[int, dict[str, Any]]]:
+        if self.workers == 1 or len(indices) == 1:
+            return [(i, execute_point(spec, i)) for i in indices]
+        spec_dict = spec.to_dict()
+        workers = min(self.workers, len(indices))
+        # Chunk by utilisation point: chunksize 1 keeps the pool busy
+        # even though per-point cost grows steeply with utilisation.
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            computed = list(
+                pool.map(_execute_point_job, repeat(spec_dict), indices)
+            )
+        return list(zip(indices, computed))

@@ -19,7 +19,6 @@ from dataclasses import dataclass
 
 from repro.experiments.config import ExperimentScale, get_scale
 from repro.experiments.reporting import format_series, format_table
-from repro.experiments.runner import run_acceptance_trial, spawn_streams
 from repro.model.platform import Platform
 from repro.taskgen.synthetic import SyntheticConfig, utilization_sweep
 
@@ -54,33 +53,53 @@ def run_quality(
     scale: ExperimentScale | None = None,
     cores: int = 8,
     config: SyntheticConfig | None = None,
+    engine: "SweepEngine | None" = None,
 ) -> QualityResult:
     """Run the tightness-quality sweep on a ``cores``-core platform.
 
     Defaults to 8 cores: the utilisation band where both schemes accept
     task sets but achieve different tightness is widest there (on 2
     cores SingleCore stops accepting anything almost as soon as the
-    quality gap opens).
+    quality gap opens).  ``engine`` selects the execution strategy
+    (workers, cache); this sweep shares the ``acceptance`` cache
+    namespace with Fig. 2.
     """
-    scale = scale or get_scale()
-    platform = Platform(cores)
-    utils = list(
-        utilization_sweep(
-            platform,
-            step_fraction=scale.utilization_step,
-            start_fraction=scale.utilization_start,
-            stop_fraction=scale.utilization_stop,
-        )
+    from repro.experiments.parallel import (
+        SweepEngine,
+        SweepSpec,
+        acceptance_outcomes,
+        synthetic_config_to_dict,
     )
-    streams = spawn_streams(scale.seed + 41, len(utils))
+
+    scale = scale or get_scale()
+    engine = engine or SweepEngine()
+    platform = Platform(cores)
+    utils = utilization_sweep(
+        platform,
+        step_fraction=scale.utilization_step,
+        start_fraction=scale.utilization_start,
+        stop_fraction=scale.utilization_stop,
+    )
+    spec = SweepSpec(
+        kind="acceptance",
+        seed=scale.seed + 41,
+        points=tuple({"utilization": u} for u in utils),
+        params={
+            "cores": cores,
+            "tasksets_per_point": scale.tasksets_per_point,
+            "config": (
+                synthetic_config_to_dict(config) if config is not None
+                else None
+            ),
+        },
+    )
+    result = engine.run(spec)
     points: list[QualityPoint] = []
-    for utilization, rng in zip(utils, streams):
+    for point, payload in zip(spec.points, result.payloads):
+        utilization = float(point["utilization"])
         hydra_sum = single_sum = 0.0
         both = 0
-        for _ in range(scale.tasksets_per_point):
-            outcome = run_acceptance_trial(
-                platform, utilization, rng, config=config
-            )
+        for outcome in acceptance_outcomes(payload):
             if outcome.hydra_schedulable and outcome.single_schedulable:
                 both += 1
                 hydra_sum += outcome.hydra.mean_tightness()

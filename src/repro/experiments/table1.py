@@ -12,11 +12,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.experiments.fig1 import build_uav_systems
 from repro.experiments.reporting import format_table
-from repro.taskgen.security_apps import TABLE1_SPECS
 
-__all__ = ["Table1Row", "run_table1", "format_table1"]
+__all__ = ["Table1Row", "run_table1", "table1_sweep_spec", "format_table1"]
 
 
 @dataclass(frozen=True)
@@ -33,28 +31,40 @@ class Table1Row:
     single_period: float
 
 
-def run_table1(cores: int = 2) -> list[Table1Row]:
+def table1_sweep_spec(cores: int = 2) -> "SweepSpec":
+    """Table I as a single-point sweep (cacheable like the others)."""
+    from repro.experiments.parallel import SweepSpec
+
+    return SweepSpec(
+        kind="table1",
+        seed=0,  # the case study is deterministic; no randomness drawn
+        points=({"cores": cores},),
+    )
+
+
+def run_table1(
+    cores: int = 2, engine: "SweepEngine | None" = None
+) -> list[Table1Row]:
     """Build the extended Table I on a ``cores``-core UAV platform."""
-    _, hydra_alloc, _, single_alloc = build_uav_systems(cores)
-    rows: list[Table1Row] = []
-    for spec in TABLE1_SPECS:
-        hydra_assignment = hydra_alloc.assignment_for(spec.name)
-        single_assignment = single_alloc.assignment_for(spec.name)
-        rows.append(
-            Table1Row(
-                name=spec.name,
-                application=spec.application,
-                function=spec.function,
-                surface=spec.surface,
-                wcet=spec.wcet,
-                period_des=spec.period_des,
-                period_max=spec.period_max,
-                hydra_core=hydra_assignment.core,
-                hydra_period=hydra_assignment.period,
-                single_period=single_assignment.period,
-            )
+    from repro.experiments.parallel import SweepEngine
+
+    engine = engine or SweepEngine()
+    result = engine.run(table1_sweep_spec(cores))
+    return [
+        Table1Row(
+            name=row["name"],
+            application=row["application"],
+            function=row["function"],
+            surface=row["surface"],
+            wcet=float(row["wcet"]),
+            period_des=float(row["period_des"]),
+            period_max=float(row["period_max"]),
+            hydra_core=int(row["hydra_core"]),
+            hydra_period=float(row["hydra_period"]),
+            single_period=float(row["single_period"]),
         )
-    return rows
+        for row in result.payloads[0]["rows"]
+    ]
 
 
 def format_table1(rows: list[Table1Row], cores: int = 2) -> str:

@@ -94,6 +94,10 @@ def try_partition_tasks(
     ordered = _ordered_tasks(task_list, ordering)
 
     per_core: dict[int, list[RealTimeTask]] = {m: [] for m in platform}
+    # Running utilisation per core: the best/worst-fit sort keys would
+    # otherwise re-sum every core's tasks for every candidate of every
+    # placement — a hot path under the Monte-Carlo sweeps.
+    core_util: dict[int, float] = {m: 0.0 for m in platform}
     assignment: dict[str, int] = {}
     next_fit_pointer = 0
 
@@ -101,7 +105,6 @@ def try_partition_tasks(
         return test([*per_core[core], task])
 
     for task in ordered:
-        candidates = []
         if heuristic == "next-fit":
             core = next_fit_pointer
             while core < platform.num_cores and not admits(core, task):
@@ -109,28 +112,22 @@ def try_partition_tasks(
             if core >= platform.num_cores:
                 return None
             next_fit_pointer = core
-            candidates = [core]
+            chosen = core
         else:
-            candidates = [m for m in platform if admits(m, task)]
-            if not candidates:
-                return None
             if heuristic == "best-fit":
-                candidates.sort(
-                    key=lambda m: (
-                        -sum(t.utilization for t in per_core[m]),
-                        m,
-                    )
-                )
+                order = sorted(platform, key=lambda m: (-core_util[m], m))
             elif heuristic == "worst-fit":
-                candidates.sort(
-                    key=lambda m: (
-                        sum(t.utilization for t in per_core[m]),
-                        m,
-                    )
-                )
-            # first-fit: keep core-index order.
-        chosen = candidates[0]
+                order = sorted(platform, key=lambda m: (core_util[m], m))
+            else:  # first-fit: keep core-index order.
+                order = list(platform)
+            # Probing cores in key order means the first admitting core
+            # is the one the old sort-then-pick would have chosen, and
+            # no admission test runs past it.
+            chosen = next((m for m in order if admits(m, task)), None)
+            if chosen is None:
+                return None
         per_core[chosen].append(task)
+        core_util[chosen] += task.utilization
         assignment[task.name] = chosen
 
     return Partition(platform, TaskSet(task_list), assignment)

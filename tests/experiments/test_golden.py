@@ -1,0 +1,75 @@
+"""Golden-regression tests: fixed-seed curves pinned as checked-in JSON.
+
+Each fixture stores both human-reviewable aggregates (acceptance
+counts, detection times) and a sha256 over the full per-point payloads.
+The sweep engine must reproduce them *exactly* — in serial mode, in
+parallel mode, and through a cache round-trip.  If one of these tests
+fails after an intended behaviour change, regenerate with::
+
+    PYTHONPATH=src python tools/regen_golden.py
+
+and commit the updated fixtures with the change.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.cache import ResultCache
+from repro.experiments.golden import GOLDEN_FIXTURES, golden_summary
+from repro.experiments.parallel import SweepEngine
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+_NAMES = sorted(GOLDEN_FIXTURES)
+
+
+def _fixture(name: str) -> dict:
+    path = GOLDEN_DIR / f"{name}.json"
+    assert path.exists(), (
+        f"missing golden fixture {path}; generate it with "
+        f"'PYTHONPATH=src python tools/regen_golden.py'"
+    )
+    return json.loads(path.read_text())
+
+
+@pytest.mark.parametrize("name", _NAMES)
+def test_serial_engine_reproduces_fixture(name):
+    assert golden_summary(name, SweepEngine(workers=1)) == _fixture(name)
+
+
+@pytest.mark.parametrize("name", _NAMES)
+def test_parallel_engine_reproduces_fixture(name):
+    assert golden_summary(name, SweepEngine(workers=4)) == _fixture(name)
+
+
+def test_cached_rerun_reproduces_fixture(tmp_path):
+    name = "fig2_mini"
+    cache = ResultCache(tmp_path)
+    cold = golden_summary(name, SweepEngine(cache=cache))
+    assert cold == _fixture(name)
+
+    computed: list[int] = []
+    warm_engine = SweepEngine(
+        cache=ResultCache(tmp_path), on_point_computed=computed.append
+    )
+    assert golden_summary(name, warm_engine) == _fixture(name)
+    assert computed == []  # second run came entirely from the cache
+
+
+def test_fixture_sanity():
+    """The pinned curve itself shows the paper's qualitative shape."""
+    fig2 = _fixture("fig2_mini")
+    points = fig2["points"]
+    assert [p["tasksets"] for p in points] == [50, 50, 50]
+    # Low utilisation: everything accepted; high: HYDRA strictly ahead.
+    assert points[0]["accepted_hydra"] == points[0]["accepted_single"] == 50
+    assert points[-1]["accepted_hydra"] >= points[-1]["accepted_single"]
+
+    fig1 = _fixture("fig1_mini")
+    (panel,) = fig1["points"]
+    assert panel["cores"] == 2
+    assert len(panel["hydra_times"]) == len(panel["single_times"]) == 20

@@ -1,0 +1,244 @@
+"""Unit tests for the sweep engine, its determinism and its cache.
+
+The engine's contract: for a fixed :class:`SweepSpec`, the aggregated
+results are *byte-identical* regardless of worker count, and a
+cache-warm second run returns the same bytes without recomputing a
+single point.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.experiments.cache import ResultCache, cache_key
+from repro.experiments.config import SCALES
+from repro.experiments.fig2 import fig2_sweep_spec, run_fig2
+from repro.experiments.parallel import (
+    SweepEngine,
+    SweepSpec,
+    build_allocator,
+    execute_point,
+    outcome_from_dict,
+    outcome_to_dict,
+    register_point_runner,
+    synthetic_config_from_dict,
+    synthetic_config_to_dict,
+)
+from repro.experiments.runner import run_acceptance_trial, spawn_streams
+from repro.taskgen.synthetic import SyntheticConfig
+
+
+def _mini_spec(points: int = 3, trials: int = 4) -> SweepSpec:
+    smoke = SCALES["smoke"]
+    scale = smoke.with_overrides(tasksets_per_point=trials)
+    spec = fig2_sweep_spec(2, scale)
+    return SweepSpec(
+        kind=spec.kind,
+        seed=spec.seed,
+        points=spec.points[:points],
+        params=spec.params,
+    )
+
+
+def _bytes(result) -> bytes:
+    return json.dumps(result.payloads, sort_keys=True).encode()
+
+
+class TestDeterminism:
+    def test_serial_and_parallel_runs_are_byte_identical(self):
+        spec = _mini_spec()
+        serial = SweepEngine(workers=1).run(spec)
+        parallel = SweepEngine(workers=4).run(spec)
+        assert _bytes(serial) == _bytes(parallel)
+        assert serial.stats.computed_points == len(spec.points)
+        assert parallel.stats.computed_points == len(spec.points)
+
+    def test_engine_matches_legacy_serial_streams(self):
+        """Point ``i``'s engine stream is ``spawn_streams``' stream ``i``
+        — the exact randomness the pre-engine serial loops consumed."""
+        spec = _mini_spec(points=2, trials=3)
+        result = SweepEngine().run(spec)
+        streams = spawn_streams(spec.seed, len(spec.points))
+        for point, payload, rng in zip(
+            spec.points, result.payloads, streams
+        ):
+            expected = [
+                outcome_to_dict(
+                    run_acceptance_trial(2, point["utilization"], rng)
+                )
+                for _ in range(3)
+            ]
+            assert payload["outcomes"] == expected
+
+    def test_fig2_identical_across_worker_counts(self):
+        smoke = SCALES["smoke"]
+        serial = run_fig2(smoke, engine=SweepEngine(workers=1))
+        parallel = run_fig2(smoke, engine=SweepEngine(workers=4))
+        assert serial == parallel
+
+
+class TestCache:
+    def test_warm_run_recomputes_nothing(self, tmp_path):
+        spec = _mini_spec()
+        computed: list[int] = []
+        engine = SweepEngine(
+            cache=ResultCache(tmp_path), on_point_computed=computed.append
+        )
+        cold = engine.run(spec)
+        assert sorted(computed) == list(range(len(spec.points)))
+        assert cold.stats.computed_points == len(spec.points)
+
+        computed.clear()
+        warm = engine.run(spec)
+        assert computed == []  # the call-counting hook never fired
+        assert warm.stats.computed_points == 0
+        assert warm.stats.cached_points == len(spec.points)
+        assert _bytes(cold) == _bytes(warm)
+
+    def test_parallel_run_reuses_serial_cache(self, tmp_path):
+        spec = _mini_spec()
+        cold = SweepEngine(workers=1, cache=ResultCache(tmp_path)).run(spec)
+        warm_cache = ResultCache(tmp_path)
+        warm = SweepEngine(workers=4, cache=warm_cache).run(spec)
+        assert warm.stats.cached_points == len(spec.points)
+        assert warm_cache.hits == len(spec.points)
+        assert _bytes(cold) == _bytes(warm)
+
+    def test_extended_sweep_only_computes_new_points(self, tmp_path):
+        short = _mini_spec(points=2)
+        extended = _mini_spec(points=3)
+        assert extended.points[:2] == short.points
+
+        engine = SweepEngine(cache=ResultCache(tmp_path))
+        engine.run(short)
+        result = engine.run(extended)
+        assert result.stats.cached_points == 2
+        assert result.stats.computed_points == 1
+
+    def test_different_seeds_do_not_collide(self, tmp_path):
+        spec = _mini_spec(points=2)
+        other = SweepSpec(
+            kind=spec.kind,
+            seed=spec.seed + 1,
+            points=spec.points,
+            params=spec.params,
+        )
+        engine = SweepEngine(cache=ResultCache(tmp_path))
+        engine.run(spec)
+        result = engine.run(other)
+        assert result.stats.computed_points == len(other.points)
+
+    @pytest.mark.parametrize(
+        "corruption",
+        ["{ not json", "[]", "null", '{"key": null}', ""],
+        ids=["invalid-json", "array", "null", "no-payload", "empty"],
+    )
+    def test_corrupt_entry_is_a_miss(self, tmp_path, corruption):
+        spec = _mini_spec(points=1)
+        cache = ResultCache(tmp_path)
+        engine = SweepEngine(cache=cache)
+        engine.run(spec)
+        entry = cache.path_for(spec.kind, spec.key_payload(0))
+        entry.write_text(corruption)
+        rerun = SweepEngine(cache=ResultCache(tmp_path)).run(spec)
+        assert rerun.stats.computed_points == 1
+
+    def test_clear_and_len(self, tmp_path):
+        spec = _mini_spec(points=2)
+        cache = ResultCache(tmp_path)
+        SweepEngine(cache=cache).run(spec)
+        assert len(cache) == 2
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+    def test_cache_key_is_canonical(self):
+        assert cache_key({"a": 1, "b": 2}) == cache_key({"b": 2, "a": 1})
+        assert cache_key({"a": 1}) != cache_key({"a": 2})
+
+
+class TestSpec:
+    def test_round_trips_through_json(self):
+        spec = _mini_spec()
+        rebuilt = SweepSpec.from_dict(
+            json.loads(json.dumps(spec.to_dict()))
+        )
+        assert rebuilt == spec
+
+    def test_rejects_empty_points(self):
+        with pytest.raises(ValidationError):
+            SweepSpec(kind="acceptance", seed=1, points=())
+
+    def test_key_payload_excludes_point_count(self):
+        short, extended = _mini_spec(points=2), _mini_spec(points=3)
+        assert short.key_payload(0) == extended.key_payload(0)
+
+    def test_unknown_kind_raises(self):
+        spec = SweepSpec(kind="no-such-kind", seed=1, points=({"x": 1},))
+        with pytest.raises(ValidationError):
+            execute_point(spec, 0)
+
+    def test_duplicate_runner_registration_raises(self):
+        with pytest.raises(ValidationError):
+            register_point_runner("acceptance")(lambda p, q, r: {})
+
+
+class TestSerialisationHelpers:
+    def test_outcome_round_trip(self, rng):
+        outcome = run_acceptance_trial(2, 1.0, rng)
+        rebuilt = outcome_from_dict(
+            json.loads(json.dumps(outcome_to_dict(outcome)))
+        )
+        assert rebuilt.utilization == outcome.utilization
+        assert rebuilt.hydra_schedulable == outcome.hydra_schedulable
+        assert rebuilt.single_schedulable == outcome.single_schedulable
+        if outcome.hydra_schedulable:
+            assert rebuilt.hydra.periods() == outcome.hydra.periods()
+            assert rebuilt.hydra.cores() == outcome.hydra.cores()
+
+    def test_synthetic_config_round_trip(self):
+        config = SyntheticConfig(
+            security_task_count=(2, 6), period_granularity=5.0
+        )
+        rebuilt = synthetic_config_from_dict(
+            json.loads(json.dumps(synthetic_config_to_dict(config)))
+        )
+        assert rebuilt == config
+
+    def test_build_allocator_known_specs(self):
+        for spec in (
+            "hydra", "hydra[exact-rta]", "hydra+lp", "first-feasible",
+            "slackiest-core",
+        ):
+            assert build_allocator(spec).name == spec
+
+    def test_build_allocator_unknown_spec(self):
+        with pytest.raises(ValidationError):
+            build_allocator("magic")
+
+
+class TestEngineConfig:
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ValidationError):
+            SweepEngine(workers=-1)
+
+    def test_workers_zero_and_none_mean_serial(self):
+        assert SweepEngine(workers=0).workers == 1
+        assert SweepEngine(workers=None).workers == 1
+
+    def test_cache_path_coerced(self, tmp_path):
+        engine = SweepEngine(cache=str(tmp_path / "c"))
+        assert isinstance(engine.cache, ResultCache)
+
+
+class TestFig1Degenerate:
+    def test_single_core_only_scale_returns_empty_result(self):
+        """core_counts=(1,) has no SingleCore-comparable panel; the
+        pre-engine loop returned an empty result rather than raising."""
+        from repro.experiments.fig1 import run_fig1
+
+        scale = SCALES["smoke"].with_overrides(core_counts=(1,))
+        result = run_fig1(scale)
+        assert result.points == ()

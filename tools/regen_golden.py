@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""Regenerate the golden-regression fixtures.
+
+Run after an *intended* behaviour change (new allocation rule, RNG
+recipe change, …) and commit the updated JSON together with the code::
+
+    PYTHONPATH=src python tools/regen_golden.py
+
+The fixtures live in ``tests/experiments/golden/`` and are asserted by
+``tests/experiments/test_golden.py`` in both serial and parallel
+engine modes; see ``repro.experiments.golden`` for what each pins.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.experiments.golden import GOLDEN_FIXTURES, golden_summary
+
+GOLDEN_DIR = (
+    Path(__file__).resolve().parent.parent
+    / "tests" / "experiments" / "golden"
+)
+
+
+def main() -> int:
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    for name in GOLDEN_FIXTURES:
+        summary = golden_summary(name)
+        target = GOLDEN_DIR / f"{name}.json"
+        target.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {target} (payload sha256 {summary['payload_sha256'][:12]}…)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
