@@ -1,0 +1,43 @@
+"""Benchmarks for the unified experiment API layer.
+
+The protocol adds indirection (registry lookup, spec hashing, result
+encoding) on top of the raw sweeps; these benches pin that overhead so
+a regression in the API layer — as opposed to the numeric kernels —
+shows up on its own line.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentResult, get_experiment
+from repro.experiments.config import SCALES
+
+SMOKE = SCALES["smoke"]
+
+
+@pytest.fixture(scope="module")
+def table1_result():
+    return get_experiment("table1").run(SMOKE)
+
+
+def test_bench_registry_lookup(benchmark):
+    benchmark(get_experiment, "fig2")
+
+
+def test_bench_spec_hash(benchmark):
+    experiment = get_experiment("fig2")
+    benchmark(experiment.spec_hash, SMOKE)
+
+
+def test_bench_table1_through_protocol(benchmark):
+    experiment = get_experiment("table1")
+    result = benchmark(experiment.run, SMOKE)
+    assert len(result.rows) == 6
+
+
+def test_bench_result_json_round_trip(benchmark, table1_result):
+    def round_trip():
+        return ExperimentResult.from_json(table1_result.to_json())
+
+    assert benchmark(round_trip) == table1_result

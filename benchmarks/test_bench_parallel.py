@@ -20,7 +20,6 @@ import os
 import time
 
 from repro.experiments.cache import ResultCache
-from repro.experiments.config import get_scale
 from repro.experiments.fig2 import fig2_sweep_spec
 from repro.experiments.parallel import SweepEngine
 

@@ -1,14 +1,17 @@
 """Command-line entry point: ``repro-hydra`` / ``python -m repro``.
 
-Runs any of the paper's experiments at a chosen scale and prints the
-table/series the paper reports::
+Subcommands are *generated from the experiment registry* — every
+registered :class:`~repro.experiments.api.Experiment` (built-in or
+plugin) gets its own subcommand, plus three meta commands::
 
+    repro-hydra list                         # what can I run?
     repro-hydra table1
-    repro-hydra fig1 --scale smoke
     repro-hydra fig2 --scale default --workers 4
     repro-hydra fig3 --scale paper --workers 8 --cache-dir results/cache
+    repro-hydra quality --output q.json --format json
     repro-hydra ablations
     repro-hydra all --scale smoke --resume
+    repro-hydra sweep --config examples/custom_sweep.toml
 
 Sweeps run through the :class:`repro.experiments.parallel.SweepEngine`:
 ``--workers N`` fans utilisation points over N processes (results are
@@ -16,57 +19,49 @@ identical to a serial run — every point has its own SeedSequence
 stream), ``--cache-dir DIR`` caches per-point results on disk so
 re-runs and extended sweeps only compute missing points, and
 ``--resume`` is shorthand for caching in ``.repro-cache``.
+
+Results are structured: ``--format json`` emits the versioned
+:class:`~repro.experiments.api.ExperimentResult` document (readable
+back with ``ExperimentResult.from_json``), ``--format csv`` the flat
+tabular view, and ``--output FILE`` writes either to a file instead of
+stdout.  ``repro-hydra sweep --config spec.toml`` runs a user-defined
+scenario grid (heuristic × ordering × admission × core count) with no
+driver code at all — see :mod:`repro.experiments.scenario`.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import Sequence
+from pathlib import Path
+from typing import TYPE_CHECKING, Sequence
 
-from repro.experiments import (
-    core_choice_ablation,
-    extension_ablation,
-    format_allocator_comparison,
-    format_extension_ablation,
-    format_fig1,
-    format_fig2,
-    format_fig3,
-    format_quality,
-    format_search_ablation,
-    format_table1,
-    get_scale,
-    partitioning_ablation,
-    run_fig1,
-    run_fig2,
-    run_fig3,
-    run_quality,
-    run_table1,
-    search_ablation,
-    solver_ablation,
+from repro.errors import ValidationError
+from repro.experiments.config import get_scale
+from repro.experiments.registry import (
+    experiment_names,
+    get_experiment,
+    iter_experiments,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.api import Experiment
+    from repro.experiments.parallel import SweepEngine
 
 __all__ = ["main", "build_parser"]
 
-_EXPERIMENTS = (
-    "table1", "fig1", "fig2", "fig3", "quality", "ablations", "all",
-)
+#: Cache directory used by ``--resume`` when ``--cache-dir`` is absent.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Meta commands that are not registry experiments.
+_META_COMMANDS = ("list", "all", "ablations", "sweep")
+
+_FORMATS = ("text", "json", "csv")
 
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="repro-hydra",
-        description=(
-            "Regenerate the tables and figures of 'A Design-Space "
-            "Exploration for Allocating Security Tasks in Multicore "
-            "Real-Time Systems' (DATE 2018)."
-        ),
-    )
-    parser.add_argument(
-        "experiment",
-        choices=_EXPERIMENTS,
-        help="which experiment to run",
-    )
+def _add_run_options(parser: argparse.ArgumentParser) -> None:
+    """Options shared by every experiment-running subcommand."""
     parser.add_argument(
         "--scale",
         default=None,
@@ -78,15 +73,6 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="override the base RNG seed",
-    )
-    parser.add_argument(
-        "--csv",
-        metavar="DIR",
-        default=None,
-        help=(
-            "additionally export the numeric series of the selected "
-            "experiment(s) as CSV files into DIR"
-        ),
     )
     parser.add_argument(
         "--workers",
@@ -112,141 +98,241 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help=(
             "resume from (and keep feeding) the default cache directory "
-            "'.repro-cache' when --cache-dir is not given"
+            f"'{DEFAULT_CACHE_DIR}' when --cache-dir is not given"
         ),
     )
+    parser.add_argument(
+        "--format",
+        dest="output_format",
+        default="text",
+        choices=_FORMATS,
+        help=(
+            "output format: 'text' renders the report tables, 'json' the "
+            "versioned ExperimentResult document, 'csv' the flat tabular "
+            "view (default: text)"
+        ),
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        default=None,
+        help="write the output to FILE instead of stdout",
+    )
+    parser.add_argument(
+        "--csv",
+        metavar="DIR",
+        default=None,
+        help=(
+            "additionally export each selected experiment's tabular view "
+            "as <DIR>/<name>.csv (legacy; prefer --format csv --output)"
+        ),
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-hydra`` parser; one subcommand per registered
+    experiment, generated from the registry."""
+    parser = argparse.ArgumentParser(
+        prog="repro-hydra",
+        description=(
+            "Regenerate the tables and figures of 'A Design-Space "
+            "Exploration for Allocating Security Tasks in Multicore "
+            "Real-Time Systems' (DATE 2018) — plus ablations and "
+            "user-defined scenario sweeps."
+        ),
+        epilog="run 'repro-hydra list' to see every experiment",
+    )
+    subparsers = parser.add_subparsers(
+        dest="experiment",
+        metavar="experiment",
+        required=True,
+        help="experiment (from the registry) or meta command",
+    )
+
+    list_parser = subparsers.add_parser(
+        "list",
+        help="list every registered experiment",
+        description="List every registered experiment, in report order.",
+    )
+    list_parser.add_argument(
+        "--format",
+        dest="output_format",
+        default="text",
+        choices=("text", "json"),
+        help="'text' for a table, 'json' for machine-readable specs",
+    )
+
+    for experiment in iter_experiments():
+        spec = experiment.spec()
+        sub = subparsers.add_parser(
+            spec.name,
+            help=spec.title,
+            description=spec.description or spec.title,
+        )
+        _add_run_options(sub)
+
+    for name, help_text in (
+        ("ablations", "run every ablation experiment"),
+        ("all", "run every registered experiment"),
+    ):
+        sub = subparsers.add_parser(name, help=help_text)
+        _add_run_options(sub)
+
+    sweep = subparsers.add_parser(
+        "sweep",
+        help="run a user-defined scenario sweep from a TOML config",
+        description=(
+            "Run a TOML-defined design-space sweep (placement heuristic "
+            "× task ordering × admission test × core count) through the "
+            "parallel/cached engine — no driver code needed."
+        ),
+    )
+    sweep.add_argument(
+        "--config",
+        metavar="FILE",
+        required=True,
+        help="scenario TOML file (see examples/custom_sweep.toml)",
+    )
+    _add_run_options(sweep)
+
     return parser
 
 
-def _export_csv(directory: str, name: str, headers, rows) -> None:
-    from pathlib import Path
+def _build_engine(args) -> "SweepEngine":
+    from repro.experiments.parallel import SweepEngine
 
-    from repro.io import rows_to_csv
+    cache_dir = args.cache_dir
+    if cache_dir is None and args.resume:
+        cache_dir = DEFAULT_CACHE_DIR
+    return SweepEngine(workers=args.workers, cache=cache_dir)
 
-    target = Path(directory)
-    target.mkdir(parents=True, exist_ok=True)
-    rows_to_csv(headers, rows, target / f"{name}.csv")
+
+def _selected_experiments(args) -> list["Experiment"]:
+    if args.experiment == "all":
+        return list(iter_experiments())
+    if args.experiment == "ablations":
+        return [
+            e for e in iter_experiments() if "ablation" in e.spec().tags
+        ]
+    if args.experiment == "sweep":
+        from repro.experiments.scenario import (
+            ScenarioExperiment,
+            load_scenario,
+        )
+
+        return [ScenarioExperiment(load_scenario(args.config))]
+    return [get_experiment(args.experiment)]
 
 
-#: Cache directory used by ``--resume`` when ``--cache-dir`` is absent.
-DEFAULT_CACHE_DIR = ".repro-cache"
+def _emit(text: str, output: str | None) -> None:
+    if output is None:
+        print(text)
+    else:
+        target = Path(output)
+        if target.parent != Path(""):
+            target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(text if text.endswith("\n") else text + "\n")
+
+
+def _run_list(args) -> int:
+    from repro.experiments.reporting import format_table
+
+    specs = [e.spec() for e in iter_experiments()]
+    if args.output_format == "json":
+        print(json.dumps([s.to_dict() for s in specs], indent=2))
+        return 0
+    print(
+        format_table(
+            ["name", "title", "tags"],
+            [(s.name, s.title, ",".join(s.tags)) for s in specs],
+            title="Registered experiments (run with 'repro-hydra <name>')",
+        )
+    )
+    print(
+        "\nmeta commands: ablations, all, "
+        "sweep --config FILE (TOML scenario grid)"
+    )
+    return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    from repro.experiments.parallel import SweepEngine
+    argv = list(sys.argv[1:] if argv is None else argv)
+
+    # Registry lookup with a helpful error: an unknown command token —
+    # e.g. a plugin experiment that was never imported, or a typo —
+    # should point at 'repro-hydra list' instead of dumping usage.
+    # Only the leading token counts as the command; anything after a
+    # flag is that flag's value and argparse handles it.
+    known = set(experiment_names()) | set(_META_COMMANDS)
+    command = argv[0] if argv and not argv[0].startswith("-") else None
+    if command is not None and command not in known:
+        print(
+            f"repro-hydra: unknown experiment {command!r}; run "
+            f"'repro-hydra list' to see what is registered",
+            file=sys.stderr,
+        )
+        return 2
 
     parser = build_parser()
     args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        return _run_list(args)
+
     if args.workers is not None and args.workers < 0:
         parser.error(f"--workers must be >= 0, got {args.workers}")
     scale = get_scale(args.scale)
     if args.seed is not None:
         scale = scale.with_overrides(seed=args.seed)
+    engine = _build_engine(args)
 
-    cache_dir = args.cache_dir
-    if cache_dir is None and args.resume:
-        cache_dir = DEFAULT_CACHE_DIR
-    engine = SweepEngine(workers=args.workers, cache=cache_dir)
+    try:
+        experiments = _selected_experiments(args)
+    except ValidationError as exc:
+        parser.error(str(exc))
 
-    sections: list[str] = []
-    if args.experiment in ("table1", "all"):
-        rows = run_table1(engine=engine)
-        sections.append(format_table1(rows))
-        if args.csv:
-            _export_csv(
-                args.csv,
-                "table1",
-                ["task", "application", "surface", "wcet", "period_des",
-                 "period_max", "hydra_core", "hydra_period",
-                 "single_period"],
-                [
-                    (r.name, r.application, r.surface, r.wcet,
-                     r.period_des, r.period_max, r.hydra_core,
-                     r.hydra_period, r.single_period)
-                    for r in rows
-                ],
-            )
-    if args.experiment in ("fig1", "all"):
-        fig1 = run_fig1(scale, engine=engine)
-        sections.append(format_fig1(fig1))
-        if args.csv:
-            _export_csv(
-                args.csv,
-                "fig1",
-                ["cores", "scheme", "detection_time_ms"],
-                [
-                    (point.cores, scheme.scheme, t)
-                    for point in fig1.points
-                    for scheme in (point.hydra, point.single)
-                    for t in scheme.times
-                ],
-            )
-    if args.experiment in ("fig2", "all"):
-        fig2 = run_fig2(scale, engine=engine)
-        sections.append(format_fig2(fig2))
-        if args.csv:
-            _export_csv(
-                args.csv,
-                "fig2",
-                ["cores", "utilization", "accept_hydra", "accept_single",
-                 "improvement_pct"],
-                [
-                    (p.cores, p.utilization, p.ratio_hydra,
-                     p.ratio_single, p.improvement)
-                    for p in fig2.points
-                ],
-            )
-    if args.experiment in ("fig3", "all"):
-        fig3 = run_fig3(scale, engine=engine)
-        sections.append(format_fig3(fig3))
-        if args.csv:
-            _export_csv(
-                args.csv,
-                "fig3",
-                ["utilization", "mean_gap_pct", "max_gap_pct", "compared",
-                 "hydra_failures"],
-                [
-                    (p.utilization, p.mean_gap, p.max_gap, p.compared,
-                     p.hydra_failures)
-                    for p in fig3.points
-                ],
-            )
-    if args.experiment in ("quality", "all"):
-        quality = run_quality(scale, engine=engine)
-        sections.append(format_quality(quality))
-        if args.csv:
-            _export_csv(
-                args.csv,
-                "quality",
-                ["cores", "utilization", "both_accepted",
-                 "mean_tightness_hydra", "mean_tightness_single"],
-                [
-                    (p.cores, p.utilization, p.both_accepted,
-                     p.mean_tightness_hydra, p.mean_tightness_single)
-                    for p in quality.points
-                ],
-            )
-    if args.experiment in ("ablations", "all"):
-        sections.append(
-            format_allocator_comparison(
-                solver_ablation(scale, engine=engine), "Ablation: period solver"
-            )
-        )
-        sections.append(
-            format_allocator_comparison(
-                core_choice_ablation(scale, engine=engine), "Ablation: core-selection rule"
-            )
-        )
-        sections.append(format_search_ablation(search_ablation(scale)))
-        sections.append(format_extension_ablation(extension_ablation(scale)))
-        sections.append(
-            format_allocator_comparison(
-                partitioning_ablation(scale, engine=engine),
-                "Ablation: real-time partitioning heuristic",
-            )
+    fmt = args.output_format
+    if fmt == "csv" and len(experiments) != 1:
+        parser.error(
+            f"--format csv needs a single experiment (got "
+            f"{len(experiments)}); use --csv DIR for per-experiment files"
         )
 
-    print(("\n\n" + "=" * 78 + "\n\n").join(sections))
+    results = []
+    try:
+        for experiment in experiments:
+            results.append((experiment, experiment.run(scale, engine)))
+    except ValidationError as exc:
+        # Config-level mistakes (e.g. a scenario utilisation range that
+        # only becomes resolvable against the scale) surface as clean
+        # CLI errors, not tracebacks.
+        parser.error(str(exc))
+
+    if args.csv:
+        target = Path(args.csv)
+        target.mkdir(parents=True, exist_ok=True)
+        for experiment, result in results:
+            if result.columns:
+                name = result.experiment.replace(":", "-").replace("/", "-")
+                (target / f"{name}.csv").write_text(result.to_csv())
+
+    if fmt == "json":
+        if len(results) == 1:
+            text = results[0][1].to_json()
+        else:
+            text = json.dumps(
+                [result.to_dict() for _, result in results],
+                indent=2,
+                sort_keys=True,
+            )
+        _emit(text, args.output)
+    elif fmt == "csv":
+        _emit(results[0][1].to_csv(), args.output)
+    else:
+        sections = [
+            experiment.render(result) for experiment, result in results
+        ]
+        _emit(("\n\n" + "=" * 78 + "\n\n").join(sections), args.output)
     return 0
 
 

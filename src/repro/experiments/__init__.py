@@ -1,22 +1,38 @@
 """Experiment drivers regenerating every table and figure of the paper
-(plus the DESIGN §7 ablations).
+(plus the DESIGN §7 ablations), unified behind one declarative API.
 
+* :mod:`repro.experiments.api` — the :class:`Experiment` protocol,
+  :class:`ExperimentSpec`, and the typed, versioned
+  :class:`ExperimentResult` (``to_json``/``from_json``/``to_csv``).
+* :mod:`repro.experiments.registry` — the decorator-based experiment
+  registry the CLI, golden machinery, and ``repro-hydra list`` consume.
 * :mod:`repro.experiments.table1` — the security-task catalogue.
 * :mod:`repro.experiments.fig1` — UAV case study detection-time CDFs.
 * :mod:`repro.experiments.fig2` — acceptance-ratio improvement sweep.
 * :mod:`repro.experiments.fig3` — HYDRA vs optimal tightness gap.
+* :mod:`repro.experiments.quality` — tightness on commonly-accepted sets.
 * :mod:`repro.experiments.ablations` — solver / core-choice / search /
-  extension ablations.
+  extension / partitioning ablations.
+* :mod:`repro.experiments.scenario` — user-defined TOML scenario sweeps
+  (``repro-hydra sweep --config``).
 * :mod:`repro.experiments.config` — ``smoke`` / ``default`` / ``paper``
   scaling presets (env var ``REPRO_SCALE``).
 * :mod:`repro.experiments.parallel` — the parallel/cached/resumable
-  :class:`SweepEngine` every driver runs through.
+  :class:`SweepEngine` every experiment runs through.
 * :mod:`repro.experiments.cache` — the on-disk per-point result cache.
+
+The ``run_X``/``format_X`` module functions remain as thin deprecated
+shims over the corresponding :class:`Experiment` classes.
 """
 
 from repro.experiments.ablations import (
     AllocatorComparison,
+    CoreChoiceAblationExperiment,
+    ExtensionAblationExperiment,
+    PartitioningAblationExperiment,
+    SearchAblationExperiment,
     SearchAblationResult,
+    SolverAblationExperiment,
     core_choice_ablation,
     extension_ablation,
     format_allocator_comparison,
@@ -26,30 +42,81 @@ from repro.experiments.ablations import (
     search_ablation,
     solver_ablation,
 )
+from repro.experiments.api import (
+    Experiment,
+    ExperimentResult,
+    ExperimentSpec,
+    GoldenFixture,
+    Point,
+    RawRun,
+)
 from repro.experiments.cache import ResultCache
 from repro.experiments.config import SCALES, ExperimentScale, get_scale
+from repro.experiments.fig1 import (
+    Fig1Experiment,
+    Fig1Result,
+    build_uav_systems,
+    format_fig1,
+    run_fig1,
+)
+from repro.experiments.fig2 import (
+    Fig2Experiment,
+    Fig2Result,
+    format_fig2,
+    run_fig2,
+)
+from repro.experiments.fig3 import (
+    Fig3Experiment,
+    Fig3Result,
+    format_fig3,
+    run_fig3,
+)
 from repro.experiments.parallel import (
     SweepEngine,
     SweepResult,
     SweepSpec,
     SweepStats,
 )
-from repro.experiments.fig1 import (
-    Fig1Result,
-    build_uav_systems,
-    format_fig1,
-    run_fig1,
-)
-from repro.experiments.fig2 import Fig2Result, format_fig2, run_fig2
-from repro.experiments.fig3 import Fig3Result, format_fig3, run_fig3
 from repro.experiments.quality import (
+    QualityExperiment,
     QualityResult,
     format_quality,
     run_quality,
 )
-from repro.experiments.table1 import format_table1, run_table1
+from repro.experiments.registry import (
+    UnknownExperimentError,
+    experiment_names,
+    get_experiment,
+    iter_experiments,
+    register_experiment,
+)
+from repro.experiments.scenario import (
+    ScenarioConfig,
+    ScenarioExperiment,
+    ScenarioResult,
+    load_scenario,
+    parse_scenario,
+)
+from repro.experiments.table1 import (
+    Table1Experiment,
+    format_table1,
+    run_table1,
+)
 
 __all__ = [
+    # unified API + registry
+    "Experiment",
+    "ExperimentSpec",
+    "ExperimentResult",
+    "Point",
+    "RawRun",
+    "GoldenFixture",
+    "register_experiment",
+    "get_experiment",
+    "experiment_names",
+    "iter_experiments",
+    "UnknownExperimentError",
+    # scales + engine + cache
     "ExperimentScale",
     "SCALES",
     "get_scale",
@@ -58,6 +125,23 @@ __all__ = [
     "SweepResult",
     "SweepSpec",
     "SweepStats",
+    # experiment classes
+    "Table1Experiment",
+    "Fig1Experiment",
+    "Fig2Experiment",
+    "Fig3Experiment",
+    "QualityExperiment",
+    "SolverAblationExperiment",
+    "CoreChoiceAblationExperiment",
+    "SearchAblationExperiment",
+    "ExtensionAblationExperiment",
+    "PartitioningAblationExperiment",
+    "ScenarioExperiment",
+    "ScenarioConfig",
+    "ScenarioResult",
+    "load_scenario",
+    "parse_scenario",
+    # deprecated shims (kept for downstream callers)
     "run_table1",
     "format_table1",
     "run_fig1",

@@ -17,11 +17,14 @@ built the way it is:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
 
 import numpy as np
 
+from repro.experiments.api import Experiment, RawRun
 from repro.experiments.config import ExperimentScale, get_scale
 from repro.experiments.fig1 import build_uav_systems
+from repro.experiments.registry import register_experiment
 from repro.experiments.reporting import format_table, percent
 from repro.experiments.runner import build_hydra_system
 from repro.metrics.cdf import EmpiricalCDF
@@ -34,6 +37,9 @@ from repro.sim.runner import simulate_allocation
 from repro.taskgen.security_apps import TRIPWIRE_PRECEDENCE
 from repro.taskgen.synthetic import SyntheticConfig, generate_workload, \
     utilization_sweep
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.parallel import SweepEngine, SweepSpec
 
 __all__ = [
     "AllocatorCell",
@@ -48,6 +54,11 @@ __all__ = [
     "format_allocator_comparison",
     "format_search_ablation",
     "format_extension_ablation",
+    "SolverAblationExperiment",
+    "CoreChoiceAblationExperiment",
+    "SearchAblationExperiment",
+    "ExtensionAblationExperiment",
+    "PartitioningAblationExperiment",
 ]
 
 
@@ -115,22 +126,16 @@ def _cells_from_payloads(
     return tuple(cells)
 
 
-def _compare_allocators(
+def _allocator_sweep_spec(
     allocator_specs: list[str],
     scale: ExperimentScale,
     cores: int,
     config: SyntheticConfig | None,
     seed_offset: int,
-    engine: "SweepEngine | None" = None,
-) -> AllocatorComparison:
-    from repro.experiments.parallel import (
-        SweepEngine,
-        SweepSpec,
-        synthetic_config_to_dict,
-    )
+) -> "SweepSpec":
+    from repro.experiments.parallel import SweepSpec, synthetic_config_to_dict
 
-    engine = engine or SweepEngine()
-    spec = SweepSpec(
+    return SweepSpec(
         kind="allocator-comparison",
         seed=scale.seed + seed_offset,
         points=tuple(
@@ -146,12 +151,6 @@ def _compare_allocators(
             ),
         },
     )
-    result = engine.run(spec)
-    return AllocatorComparison(
-        cells=_cells_from_payloads(spec, result.payloads, allocator_specs),
-        cores=cores,
-        tasksets_per_point=scale.tasksets_per_point,
-    )
 
 
 def solver_ablation(
@@ -160,15 +159,13 @@ def solver_ablation(
     config: SyntheticConfig | None = None,
     engine: "SweepEngine | None" = None,
 ) -> AllocatorComparison:
-    """Linearised Eq. (5) vs exact RTA vs LP-refined periods."""
-    scale = scale or get_scale()
-    return _compare_allocators(
-        ["hydra", "hydra[exact-rta]", "hydra+lp"],
-        scale,
-        cores,
-        config,
-        seed_offset=53,
-        engine=engine,
+    """Linearised Eq. (5) vs exact RTA vs LP-refined periods.
+
+    .. deprecated::
+        Thin shim over ``SolverAblationExperiment``.
+    """
+    return SolverAblationExperiment(cores=cores, config=config).run_domain(
+        scale, engine
     )
 
 
@@ -178,15 +175,13 @@ def core_choice_ablation(
     config: SyntheticConfig | None = None,
     engine: "SweepEngine | None" = None,
 ) -> AllocatorComparison:
-    """HYDRA's argmax-tightness rule vs cheaper core-selection rules."""
-    scale = scale or get_scale()
-    return _compare_allocators(
-        ["hydra", "first-feasible", "slackiest-core"],
-        scale,
-        cores,
-        config,
-        seed_offset=67,
-        engine=engine,
+    """HYDRA's argmax-tightness rule vs cheaper core-selection rules.
+
+    .. deprecated::
+        Thin shim over ``CoreChoiceAblationExperiment``.
+    """
+    return CoreChoiceAblationExperiment(cores=cores, config=config).run_domain(
+        scale, engine
     )
 
 
@@ -347,16 +342,24 @@ def partitioning_ablation(
     moderate slack everywhere (good when many security tasks must
     spread).  Reported per heuristic: HYDRA acceptance and mean
     tightness, with the heuristic name used as the scheme label.
-    """
-    from repro.experiments.parallel import (
-        SweepEngine,
-        SweepSpec,
-        synthetic_config_to_dict,
-    )
 
-    scale = scale or get_scale()
-    engine = engine or SweepEngine()
-    spec = SweepSpec(
+    .. deprecated::
+        Thin shim over ``PartitioningAblationExperiment``.
+    """
+    return PartitioningAblationExperiment(
+        cores=cores, config=config, heuristics=heuristics
+    ).run_domain(scale, engine)
+
+
+def _partitioning_sweep_spec(
+    scale: ExperimentScale,
+    cores: int,
+    config: SyntheticConfig | None,
+    heuristics: tuple[str, ...],
+) -> "SweepSpec":
+    from repro.experiments.parallel import SweepSpec, synthetic_config_to_dict
+
+    return SweepSpec(
         kind="partitioning",
         seed=scale.seed + 97,
         points=tuple(
@@ -371,12 +374,6 @@ def partitioning_ablation(
                 else None
             ),
         },
-    )
-    result = engine.run(spec)
-    return AllocatorComparison(
-        cells=_cells_from_payloads(spec, result.payloads, list(heuristics)),
-        cores=cores,
-        tasksets_per_point=scale.tasksets_per_point,
     )
 
 
@@ -420,6 +417,281 @@ def format_search_ablation(result: SearchAblationResult) -> str:
         ],
         title="Optimal search: exhaustive vs branch-and-bound",
     )
+
+
+# -- experiment-protocol ports ------------------------------------------------
+
+
+def _comparison_to_data(domain: AllocatorComparison) -> dict[str, Any]:
+    return {
+        "cores": domain.cores,
+        "tasksets_per_point": domain.tasksets_per_point,
+        "cells": [
+            {
+                "scheme": c.scheme,
+                "utilization": c.utilization,
+                "acceptance": c.acceptance,
+                "mean_tightness": c.mean_tightness,
+            }
+            for c in domain.cells
+        ],
+    }
+
+
+def _comparison_from_data(data: Mapping[str, Any]) -> AllocatorComparison:
+    return AllocatorComparison(
+        cells=tuple(
+            AllocatorCell(
+                scheme=str(c["scheme"]),
+                utilization=float(c["utilization"]),
+                acceptance=float(c["acceptance"]),
+                mean_tightness=float(c["mean_tightness"]),
+            )
+            for c in data["cells"]
+        ),
+        cores=int(data["cores"]),
+        tasksets_per_point=int(data["tasksets_per_point"]),
+    )
+
+
+class _ComparisonAblationExperiment(Experiment):
+    """Shared machinery for ablations reporting an
+    :class:`AllocatorComparison` (solver, core-choice, partitioning)."""
+
+    version = 1
+    tags = ("ablation",)
+    columns = ("utilization", "scheme", "acceptance", "mean_tightness")
+    #: Table title passed to :func:`format_allocator_comparison`.
+    comparison_title: str = ""
+    #: Scheme labels, in report order.
+    schemes: tuple[str, ...] = ()
+    #: Default platform size (subclasses override).
+    cores: int = 2
+
+    def __init__(
+        self,
+        cores: int | None = None,
+        config: SyntheticConfig | None = None,
+    ) -> None:
+        if cores is not None:
+            self.cores = cores
+        self.config = config
+
+    def aggregate_domain(self, raw: RawRun) -> AllocatorComparison:
+        (result,) = raw.sweeps
+        return AllocatorComparison(
+            cells=_cells_from_payloads(
+                result.spec, result.payloads, list(self.schemes)
+            ),
+            cores=int(result.spec.params["cores"]),
+            tasksets_per_point=raw.scale.tasksets_per_point,
+        )
+
+    def encode_data(self, domain: AllocatorComparison) -> dict[str, Any]:
+        return _comparison_to_data(domain)
+
+    def decode_data(self, data: Mapping[str, Any]) -> AllocatorComparison:
+        return _comparison_from_data(data)
+
+    def render_domain(self, domain: AllocatorComparison) -> str:
+        return format_allocator_comparison(domain, self.comparison_title)
+
+    def table_rows(
+        self, domain: AllocatorComparison
+    ) -> list[Sequence[Any]]:
+        return [
+            (c.utilization, c.scheme, c.acceptance, c.mean_tightness)
+            for c in domain.cells
+        ]
+
+
+@register_experiment("ablation-solver")
+class SolverAblationExperiment(_ComparisonAblationExperiment):
+    name = "ablation-solver"
+    title = "Ablation: period solver (linearised vs exact RTA vs +LP)"
+    description = (
+        "Cost of the GP-compatible linearised interference bound versus "
+        "exact RTA, and what joint LP period refinement adds."
+    )
+    comparison_title = "Ablation: period solver"
+    schemes = ("hydra", "hydra[exact-rta]", "hydra+lp")
+    cores = 2
+    order = 60
+
+    def sweeps(self, scale: ExperimentScale) -> list["SweepSpec"]:
+        return [
+            _allocator_sweep_spec(
+                list(self.schemes), scale, self.cores, self.config,
+                seed_offset=53,
+            )
+        ]
+
+
+@register_experiment("ablation-core-choice")
+class CoreChoiceAblationExperiment(_ComparisonAblationExperiment):
+    name = "ablation-core-choice"
+    title = "Ablation: core-selection rule"
+    description = (
+        "HYDRA's argmax-tightness core rule versus cheaper rules "
+        "(first feasible core, most-slack core)."
+    )
+    comparison_title = "Ablation: core-selection rule"
+    schemes = ("hydra", "first-feasible", "slackiest-core")
+    cores = 4
+    order = 70
+
+    def sweeps(self, scale: ExperimentScale) -> list["SweepSpec"]:
+        return [
+            _allocator_sweep_spec(
+                list(self.schemes), scale, self.cores, self.config,
+                seed_offset=67,
+            )
+        ]
+
+
+@register_experiment("ablation-search")
+class SearchAblationExperiment(Experiment):
+    """The OPT-search ablation; computes inline (no Monte-Carlo sweep),
+    so ``sweeps`` is empty and aggregation does the work."""
+
+    name = "ablation-search"
+    title = "Ablation: optimal search (exhaustive vs branch-and-bound)"
+    description = (
+        "Branch-and-bound versus exhaustive enumeration for the OPT "
+        "baseline: same optimum, fewer LP solves."
+    )
+    version = 1
+    tags = ("ablation",)
+    order = 80
+    columns = (
+        "systems", "agreements", "exhaustive_lp_solves", "bnb_lp_solves",
+        "bnb_nodes",
+    )
+
+    def sweeps(self, scale: ExperimentScale) -> list["SweepSpec"]:
+        return []
+
+    def aggregate_domain(self, raw: RawRun) -> SearchAblationResult:
+        return search_ablation(raw.scale)
+
+    def encode_data(self, domain: SearchAblationResult) -> dict[str, Any]:
+        return {
+            "systems": domain.systems,
+            "agreements": domain.agreements,
+            "exhaustive_lp_solves": domain.exhaustive_lp_solves,
+            "bnb_lp_solves": domain.bnb_lp_solves,
+            "bnb_nodes": domain.bnb_nodes,
+        }
+
+    def decode_data(self, data: Mapping[str, Any]) -> SearchAblationResult:
+        return SearchAblationResult(
+            systems=int(data["systems"]),
+            agreements=int(data["agreements"]),
+            exhaustive_lp_solves=int(data["exhaustive_lp_solves"]),
+            bnb_lp_solves=int(data["bnb_lp_solves"]),
+            bnb_nodes=int(data["bnb_nodes"]),
+        )
+
+    def render_domain(self, domain: SearchAblationResult) -> str:
+        return format_search_ablation(domain)
+
+    def table_rows(
+        self, domain: SearchAblationResult
+    ) -> list[Sequence[Any]]:
+        return [
+            (domain.systems, domain.agreements, domain.exhaustive_lp_solves,
+             domain.bnb_lp_solves, domain.bnb_nodes)
+        ]
+
+
+@register_experiment("ablation-extension")
+class ExtensionAblationExperiment(Experiment):
+    """The §V-extensions ablation; simulates the UAV case study inline
+    (deterministic per scale), so ``sweeps`` is empty."""
+
+    name = "ablation-extension"
+    title = "Ablation: §V extensions — detection impact"
+    description = (
+        "Detection-time impact of global migration, non-preemptive "
+        "security, and precedence constraints on the UAV case study."
+    )
+    version = 1
+    tags = ("ablation",)
+    order = 90
+    columns = ("mode", "mean_detection", "p90_detection", "missed_deadlines")
+
+    def __init__(self, cores: int = 4) -> None:
+        self.cores = cores
+
+    def sweeps(self, scale: ExperimentScale) -> list["SweepSpec"]:
+        return []
+
+    def aggregate_domain(self, raw: RawRun) -> list[ExtensionCell]:
+        return extension_ablation(raw.scale, cores=self.cores)
+
+    def encode_data(self, domain: list[ExtensionCell]) -> dict[str, Any]:
+        return {
+            "cells": [
+                {
+                    "mode": c.mode,
+                    "mean_detection": c.mean_detection,
+                    "p90_detection": c.p90_detection,
+                    "missed_deadlines": c.missed_deadlines,
+                }
+                for c in domain
+            ],
+        }
+
+    def decode_data(self, data: Mapping[str, Any]) -> list[ExtensionCell]:
+        return [
+            ExtensionCell(
+                mode=str(c["mode"]),
+                mean_detection=float(c["mean_detection"]),
+                p90_detection=float(c["p90_detection"]),
+                missed_deadlines=int(c["missed_deadlines"]),
+            )
+            for c in data["cells"]
+        ]
+
+    def render_domain(self, domain: list[ExtensionCell]) -> str:
+        return format_extension_ablation(domain)
+
+    def table_rows(self, domain: list[ExtensionCell]) -> list[Sequence[Any]]:
+        return [
+            (c.mode, c.mean_detection, c.p90_detection, c.missed_deadlines)
+            for c in domain
+        ]
+
+
+@register_experiment("ablation-partitioning")
+class PartitioningAblationExperiment(_ComparisonAblationExperiment):
+    name = "ablation-partitioning"
+    title = "Ablation: real-time partitioning heuristic"
+    description = (
+        "How the real-time partitioning heuristic (best/worst/first-fit) "
+        "shapes HYDRA's room for security tasks."
+    )
+    comparison_title = "Ablation: real-time partitioning heuristic"
+    schemes = ("best-fit", "worst-fit", "first-fit")
+    cores = 4
+    order = 100
+
+    def __init__(
+        self,
+        cores: int | None = None,
+        config: SyntheticConfig | None = None,
+        heuristics: tuple[str, ...] | None = None,
+    ) -> None:
+        super().__init__(cores, config)
+        if heuristics is not None:
+            self.schemes = tuple(heuristics)
+
+    def sweeps(self, scale: ExperimentScale) -> list["SweepSpec"]:
+        return [
+            _partitioning_sweep_spec(
+                scale, self.cores, self.config, tuple(self.schemes)
+            )
+        ]
 
 
 def format_extension_ablation(cells: list[ExtensionCell]) -> str:

@@ -23,6 +23,7 @@ simulation per scheme; attack times then sample a jittered schedule.)
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
 
 import numpy as np
 
@@ -30,7 +31,9 @@ from repro.core.allocator import Allocation
 from repro.core.hydra import HydraAllocator
 from repro.core.singlecore import SingleCoreAllocator, build_singlecore_system
 from repro.errors import AllocationError
-from repro.experiments.config import ExperimentScale, get_scale
+from repro.experiments.api import Experiment, GoldenFixture, RawRun
+from repro.experiments.config import ExperimentScale
+from repro.experiments.registry import register_experiment
 from repro.experiments.reporting import format_table, percent
 from repro.metrics.cdf import EmpiricalCDF
 from repro.metrics.improvement import detection_speedup
@@ -43,10 +46,14 @@ from repro.sim.runner import simulate_allocation
 from repro.taskgen.security_apps import table1_security_tasks
 from repro.taskgen.uav import uav_rt_tasks
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.parallel import SweepEngine, SweepSpec
+
 __all__ = [
     "Fig1SchemeResult",
     "Fig1Point",
     "Fig1Result",
+    "Fig1Experiment",
     "run_fig1",
     "fig1_sweep_spec",
     "format_fig1",
@@ -196,6 +203,107 @@ def fig1_sweep_spec(
     )
 
 
+@register_experiment("fig1")
+class Fig1Experiment(Experiment):
+    """Fig. 1 on the unified experiment protocol."""
+
+    name = "fig1"
+    title = "Fig. 1 — UAV case study: detection-time CDFs"
+    description = (
+        "Simulate the UAV case study under HYDRA and SingleCore, "
+        "attack it at random instants, and report detection-time CDFs "
+        "per core count."
+    )
+    version = 1
+    tags = ("paper", "figure")
+    order = 20
+    columns = ("cores", "scheme", "detection_time_ms")
+
+    def __init__(
+        self, policy: str = "release-after", release_jitter: float = 0.0
+    ) -> None:
+        self.policy = policy
+        self.release_jitter = release_jitter
+
+    def sweeps(self, scale: ExperimentScale) -> list["SweepSpec"]:
+        if all(cores < 2 for cores in scale.core_counts):
+            # Degenerate but valid: SingleCore needs a spare core, so
+            # there is no panel to run.
+            return []
+        return [
+            fig1_sweep_spec(
+                scale, policy=self.policy, release_jitter=self.release_jitter
+            )
+        ]
+
+    def aggregate_domain(self, raw: RawRun) -> Fig1Result:
+        points = [
+            Fig1Point(
+                cores=int(payload["cores"]),
+                hydra=Fig1SchemeResult(
+                    scheme="hydra", times=tuple(payload["hydra_times"])
+                ),
+                single=Fig1SchemeResult(
+                    scheme="singlecore", times=tuple(payload["single_times"])
+                ),
+            )
+            for payload in raw.payloads
+        ]
+        return Fig1Result(points=tuple(points), scale=raw.scale.name)
+
+    def encode_data(self, domain: Fig1Result) -> dict[str, Any]:
+        return {
+            "scale": domain.scale,
+            "points": [
+                {
+                    "cores": p.cores,
+                    "hydra_times": list(p.hydra.times),
+                    "single_times": list(p.single.times),
+                }
+                for p in domain.points
+            ],
+        }
+
+    def decode_data(self, data: Mapping[str, Any]) -> Fig1Result:
+        return Fig1Result(
+            points=tuple(
+                Fig1Point(
+                    cores=int(p["cores"]),
+                    hydra=Fig1SchemeResult(
+                        scheme="hydra",
+                        times=tuple(float(t) for t in p["hydra_times"]),
+                    ),
+                    single=Fig1SchemeResult(
+                        scheme="singlecore",
+                        times=tuple(float(t) for t in p["single_times"]),
+                    ),
+                )
+                for p in data["points"]
+            ),
+            scale=str(data["scale"]),
+        )
+
+    def render_domain(self, domain: Fig1Result) -> str:
+        return format_fig1(domain)
+
+    def table_rows(self, domain: Fig1Result) -> list[Sequence[Any]]:
+        return [
+            (point.cores, scheme.scheme, t)
+            for point in domain.points
+            for scheme in (point.hydra, point.single)
+            for t in scheme.times
+        ]
+
+    def golden_fixture(self) -> GoldenFixture:
+        from repro.experiments.golden import fig1_mini_aggregate, fig1_mini_spec
+
+        return GoldenFixture(
+            name="fig1_mini",
+            build_spec=fig1_mini_spec,
+            summarize=fig1_mini_aggregate,
+        )
+
+
 def run_fig1(
     scale: ExperimentScale | None = None,
     policy: str = "release-after",
@@ -204,33 +312,17 @@ def run_fig1(
 ) -> Fig1Result:
     """Run the case study at the given scale.
 
+    .. deprecated::
+        Thin shim over ``Fig1Experiment`` kept for downstream callers;
+        prefer ``get_experiment("fig1").run(scale, engine)``.
+
     ``engine`` selects the execution strategy (workers, cache); the
     default is a serial, uncached :class:`SweepEngine`.  Results are
     engine-independent.
     """
-    from repro.experiments.parallel import SweepEngine
-
-    scale = scale or get_scale()
-    engine = engine or SweepEngine()
-    if all(cores < 2 for cores in scale.core_counts):
-        # Degenerate but valid: SingleCore needs a spare core, so there
-        # is no panel to run (the pre-engine loop returned empty too).
-        return Fig1Result(points=(), scale=scale.name)
-    spec = fig1_sweep_spec(scale, policy=policy, release_jitter=release_jitter)
-    result = engine.run(spec)
-    points = [
-        Fig1Point(
-            cores=int(payload["cores"]),
-            hydra=Fig1SchemeResult(
-                scheme="hydra", times=tuple(payload["hydra_times"])
-            ),
-            single=Fig1SchemeResult(
-                scheme="singlecore", times=tuple(payload["single_times"])
-            ),
-        )
-        for payload in result.payloads
-    ]
-    return Fig1Result(points=tuple(points), scale=scale.name)
+    return Fig1Experiment(
+        policy=policy, release_jitter=release_jitter
+    ).run_domain(scale, engine)
 
 
 def format_fig1(result: Fig1Result, grid_points: int = 12) -> str:

@@ -11,17 +11,24 @@ security task through one core starves the low-priority ones.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
 
-from repro.experiments.config import ExperimentScale, get_scale
+from repro.experiments.api import Experiment, GoldenFixture, RawRun
+from repro.experiments.config import ExperimentScale
+from repro.experiments.registry import register_experiment
 from repro.experiments.reporting import format_series, format_table, percent
 from repro.metrics.acceptance import AcceptanceCounter
 from repro.metrics.improvement import acceptance_improvement
 from repro.model.platform import Platform
 from repro.taskgen.synthetic import SyntheticConfig, utilization_sweep
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.parallel import SweepEngine, SweepSpec
+
 __all__ = [
     "Fig2Point",
     "Fig2Result",
+    "Fig2Experiment",
     "run_fig2",
     "fig2_sweep_spec",
     "format_fig2",
@@ -98,6 +105,107 @@ def fig2_sweep_spec(
     )
 
 
+@register_experiment("fig2")
+class Fig2Experiment(Experiment):
+    """Fig. 2 on the unified experiment protocol."""
+
+    name = "fig2"
+    title = "Fig. 2 — acceptance-ratio improvement, HYDRA vs SingleCore"
+    description = (
+        "Monte-Carlo acceptance-ratio sweep over the paper's "
+        "utilisation grid, one panel per core count."
+    )
+    version = 1
+    tags = ("paper", "figure")
+    order = 30
+    columns = (
+        "cores", "utilization", "accept_hydra", "accept_single",
+        "improvement_pct",
+    )
+
+    def __init__(self, config: SyntheticConfig | None = None) -> None:
+        self.config = config
+
+    def sweeps(self, scale: ExperimentScale) -> list["SweepSpec"]:
+        return [
+            fig2_sweep_spec(cores, scale, self.config)
+            for cores in scale.core_counts
+        ]
+
+    def aggregate_domain(self, raw: RawRun) -> Fig2Result:
+        from repro.experiments.parallel import acceptance_outcomes
+
+        scale = raw.scale
+        points: list[Fig2Point] = []
+        for result in raw.sweeps:
+            cores = int(result.spec.params["cores"])
+            for point, payload in zip(result.spec.points, result.payloads):
+                hydra_counter = AcceptanceCounter()
+                single_counter = AcceptanceCounter()
+                for outcome in acceptance_outcomes(payload):
+                    hydra_counter.record(outcome.hydra_schedulable)
+                    single_counter.record(outcome.single_schedulable)
+                points.append(
+                    Fig2Point(
+                        cores=cores,
+                        utilization=float(point["utilization"]),
+                        ratio_hydra=hydra_counter.ratio,
+                        ratio_single=single_counter.ratio,
+                        tasksets=scale.tasksets_per_point,
+                    )
+                )
+        return Fig2Result(points=tuple(points), scale=scale.name)
+
+    def encode_data(self, domain: Fig2Result) -> dict[str, Any]:
+        return {
+            "scale": domain.scale,
+            "points": [
+                {
+                    "cores": p.cores,
+                    "utilization": p.utilization,
+                    "ratio_hydra": p.ratio_hydra,
+                    "ratio_single": p.ratio_single,
+                    "tasksets": p.tasksets,
+                }
+                for p in domain.points
+            ],
+        }
+
+    def decode_data(self, data: Mapping[str, Any]) -> Fig2Result:
+        return Fig2Result(
+            points=tuple(
+                Fig2Point(
+                    cores=int(p["cores"]),
+                    utilization=float(p["utilization"]),
+                    ratio_hydra=float(p["ratio_hydra"]),
+                    ratio_single=float(p["ratio_single"]),
+                    tasksets=int(p["tasksets"]),
+                )
+                for p in data["points"]
+            ),
+            scale=str(data["scale"]),
+        )
+
+    def render_domain(self, domain: Fig2Result) -> str:
+        return format_fig2(domain)
+
+    def table_rows(self, domain: Fig2Result) -> list[Sequence[Any]]:
+        return [
+            (p.cores, p.utilization, p.ratio_hydra, p.ratio_single,
+             p.improvement)
+            for p in domain.points
+        ]
+
+    def golden_fixture(self) -> GoldenFixture:
+        from repro.experiments.golden import fig2_mini_aggregate, fig2_mini_spec
+
+        return GoldenFixture(
+            name="fig2_mini",
+            build_spec=fig2_mini_spec,
+            summarize=fig2_mini_aggregate,
+        )
+
+
 def run_fig2(
     scale: ExperimentScale | None = None,
     config: SyntheticConfig | None = None,
@@ -105,34 +213,15 @@ def run_fig2(
 ) -> Fig2Result:
     """Run the full Fig. 2 sweep at the given scale.
 
+    .. deprecated::
+        Thin shim over ``Fig2Experiment`` kept for downstream callers;
+        prefer ``get_experiment("fig2").run(scale, engine)``.
+
     ``engine`` selects the execution strategy (workers, cache); the
     default is a serial, uncached :class:`SweepEngine`.  Results are
     engine-independent.
     """
-    from repro.experiments.parallel import SweepEngine, acceptance_outcomes
-
-    scale = scale or get_scale()
-    engine = engine or SweepEngine()
-    points: list[Fig2Point] = []
-    for cores in scale.core_counts:
-        spec = fig2_sweep_spec(cores, scale, config)
-        result = engine.run(spec)
-        for point, payload in zip(spec.points, result.payloads):
-            hydra_counter = AcceptanceCounter()
-            single_counter = AcceptanceCounter()
-            for outcome in acceptance_outcomes(payload):
-                hydra_counter.record(outcome.hydra_schedulable)
-                single_counter.record(outcome.single_schedulable)
-            points.append(
-                Fig2Point(
-                    cores=cores,
-                    utilization=float(point["utilization"]),
-                    ratio_hydra=hydra_counter.ratio,
-                    ratio_single=single_counter.ratio,
-                    tasksets=scale.tasksets_per_point,
-                )
-            )
-    return Fig2Result(points=tuple(points), scale=scale.name)
+    return Fig2Experiment(config=config).run_domain(scale, engine)
 
 
 def format_fig2(result: Fig2Result) -> str:

@@ -15,15 +15,22 @@ and are skipped; task sets where only HYDRA fails score Δη = 100 %
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
 
-from repro.experiments.config import ExperimentScale, get_scale
+from repro.experiments.api import Experiment, GoldenFixture, RawRun
+from repro.experiments.config import ExperimentScale
+from repro.experiments.registry import register_experiment
 from repro.experiments.reporting import format_series, format_table, percent
 from repro.model.platform import Platform
 from repro.taskgen.synthetic import SyntheticConfig, utilization_sweep
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.parallel import SweepEngine, SweepSpec
+
 __all__ = [
     "Fig3Point",
     "Fig3Result",
+    "Fig3Experiment",
     "run_fig3",
     "fig3_sweep_spec",
     "format_fig3",
@@ -87,6 +94,106 @@ def fig3_sweep_spec(
     )
 
 
+@register_experiment("fig3")
+class Fig3Experiment(Experiment):
+    """Fig. 3 on the unified experiment protocol."""
+
+    name = "fig3"
+    title = "Fig. 3 — HYDRA vs optimal: tightness gap"
+    description = (
+        "Compare HYDRA against the (exponential-cost) optimal "
+        "assignment on small systems, recording the cumulative "
+        "tightness gap per utilisation point."
+    )
+    version = 1
+    tags = ("paper", "figure")
+    order = 40
+    columns = (
+        "utilization", "mean_gap_pct", "max_gap_pct", "compared",
+        "hydra_failures",
+    )
+
+    def __init__(
+        self,
+        search: str = "branch-bound",
+        config: SyntheticConfig | None = None,
+    ) -> None:
+        self.search = search
+        self.config = config
+
+    def sweeps(self, scale: ExperimentScale) -> list["SweepSpec"]:
+        return [fig3_sweep_spec(scale, search=self.search, config=self.config)]
+
+    def aggregate_domain(self, raw: RawRun) -> Fig3Result:
+        (result,) = raw.sweeps
+        points: list[Fig3Point] = []
+        for point, payload in zip(result.spec.points, result.payloads):
+            gaps = [float(g) for g in payload["gaps"]]
+            points.append(
+                Fig3Point(
+                    utilization=float(point["utilization"]),
+                    mean_gap=sum(gaps) / len(gaps) if gaps else 0.0,
+                    max_gap=max(gaps, default=0.0),
+                    compared=len(gaps),
+                    hydra_failures=int(payload["hydra_failures"]),
+                )
+            )
+        return Fig3Result(
+            points=tuple(points), scale=raw.scale.name, search=self.search
+        )
+
+    def encode_data(self, domain: Fig3Result) -> dict[str, Any]:
+        return {
+            "scale": domain.scale,
+            "search": domain.search,
+            "points": [
+                {
+                    "utilization": p.utilization,
+                    "mean_gap": p.mean_gap,
+                    "max_gap": p.max_gap,
+                    "compared": p.compared,
+                    "hydra_failures": p.hydra_failures,
+                }
+                for p in domain.points
+            ],
+        }
+
+    def decode_data(self, data: Mapping[str, Any]) -> Fig3Result:
+        return Fig3Result(
+            points=tuple(
+                Fig3Point(
+                    utilization=float(p["utilization"]),
+                    mean_gap=float(p["mean_gap"]),
+                    max_gap=float(p["max_gap"]),
+                    compared=int(p["compared"]),
+                    hydra_failures=int(p["hydra_failures"]),
+                )
+                for p in data["points"]
+            ),
+            scale=str(data["scale"]),
+            search=str(data["search"]),
+        )
+
+    def render_domain(self, domain: Fig3Result) -> str:
+        return format_fig3(domain)
+
+    def table_rows(self, domain: Fig3Result) -> list[Sequence[Any]]:
+        return [
+            (p.utilization, p.mean_gap, p.max_gap, p.compared,
+             p.hydra_failures)
+            for p in domain.points
+        ]
+
+    def golden_fixture(self) -> GoldenFixture:
+        from repro.experiments.golden import fig3_mini_aggregate, fig3_mini_spec
+
+        return GoldenFixture(
+            name="fig3_mini",
+            build_spec=fig3_mini_spec,
+            summarize=fig3_mini_aggregate,
+        )
+
+
 def run_fig3(
     scale: ExperimentScale | None = None,
     search: str = "branch-bound",
@@ -95,29 +202,17 @@ def run_fig3(
 ) -> Fig3Result:
     """Run the Fig. 3 comparison at the given scale.
 
+    .. deprecated::
+        Thin shim over ``Fig3Experiment`` kept for downstream callers;
+        prefer ``get_experiment("fig3").run(scale, engine)``.
+
     ``search`` selects the optimal-search implementation; both return
     identical optima (tested), branch-and-bound is simply faster.
     ``engine`` selects the execution strategy (workers, cache).
     """
-    from repro.experiments.parallel import SweepEngine
-
-    scale = scale or get_scale()
-    engine = engine or SweepEngine()
-    spec = fig3_sweep_spec(scale, search=search, config=config)
-    result = engine.run(spec)
-    points: list[Fig3Point] = []
-    for point, payload in zip(spec.points, result.payloads):
-        gaps = [float(g) for g in payload["gaps"]]
-        points.append(
-            Fig3Point(
-                utilization=float(point["utilization"]),
-                mean_gap=sum(gaps) / len(gaps) if gaps else 0.0,
-                max_gap=max(gaps, default=0.0),
-                compared=len(gaps),
-                hydra_failures=int(payload["hydra_failures"]),
-            )
-        )
-    return Fig3Result(points=tuple(points), scale=scale.name, search=search)
+    return Fig3Experiment(search=search, config=config).run_domain(
+        scale, engine
+    )
 
 
 def format_fig3(result: Fig3Result) -> str:

@@ -2,22 +2,24 @@
 
 The sweep engine's correctness story rests on reproducibility: the
 same spec must yield the same trials on any worker count, any run, any
-machine with the same numpy.  These helpers define two deliberately
-small fixed-seed experiments — a Fig. 2-style acceptance curve and a
-Fig. 1-style detection-time sample — and summarise their results in a
-JSON-stable form that is checked into the repository
-(``tests/experiments/golden/``).
+machine with the same numpy.  Each experiment that wants this pinned
+declares a :class:`~repro.experiments.api.GoldenFixture` — a
+deliberately small fixed-seed sweep plus a summariser — via its
+``golden_fixture()`` hook, and this module collects them *from the
+experiment registry*: adding a fixture to a new experiment is one
+method, with no list here to keep in sync.
 
 The summaries pin two layers:
 
 * aggregate numbers a human can review (acceptance counts per point,
-  detection-time samples), and
+  detection-time samples, tightness gaps, catalogue rows), and
 * a sha256 over the canonical JSON of the *full* per-point payloads —
   every generated task set's allocation verdict, every assigned
   period — so even a change that happens to preserve the aggregates
   fails loudly.
 
-Regenerate after an *intended* behaviour change with::
+Fixtures live in ``tests/experiments/golden/``; regenerate after an
+*intended* behaviour change with::
 
     PYTHONPATH=src python tools/regen_golden.py
 """
@@ -28,9 +30,8 @@ import hashlib
 import json
 from typing import Any
 
+from repro.experiments.api import GoldenFixture
 from repro.experiments.config import SCALES, ExperimentScale
-from repro.experiments.fig1 import fig1_sweep_spec
-from repro.experiments.fig2 import fig2_sweep_spec
 from repro.experiments.parallel import (
     SweepEngine,
     SweepSpec,
@@ -38,15 +39,26 @@ from repro.experiments.parallel import (
 )
 
 __all__ = [
-    "GOLDEN_FIXTURES",
-    "fig2_mini_spec",
-    "fig1_mini_spec",
+    "golden_fixtures",
     "golden_summary",
+    "fig2_mini_spec",
+    "fig2_mini_aggregate",
+    "fig1_mini_spec",
+    "fig1_mini_aggregate",
+    "fig3_mini_spec",
+    "fig3_mini_aggregate",
+    "table1_mini_spec",
+    "table1_mini_aggregate",
 ]
+
+
+# -- the mini specs ----------------------------------------------------------
 
 
 def fig2_mini_spec() -> SweepSpec:
     """3 utilisation points × 50 task sets on 2 cores, paper seed."""
+    from repro.experiments.fig2 import fig2_sweep_spec
+
     scale = ExperimentScale(
         name="golden-mini",
         tasksets_per_point=50,
@@ -63,10 +75,30 @@ def fig2_mini_spec() -> SweepSpec:
 
 def fig1_mini_spec() -> SweepSpec:
     """The 2-core UAV case study with a short simulated horizon."""
+    from repro.experiments.fig1 import fig1_sweep_spec
+
     scale = SCALES["smoke"].with_overrides(
         sim_trials=20, core_counts=(2,)
     )
     return fig1_sweep_spec(scale)
+
+
+def fig3_mini_spec() -> SweepSpec:
+    """3 utilisation points × 4 task sets of the OPT comparison."""
+    from repro.experiments.fig3 import fig3_sweep_spec
+
+    scale = SCALES["smoke"].with_overrides(fig3_tasksets_per_point=4)
+    return fig3_sweep_spec(scale)
+
+
+def table1_mini_spec() -> SweepSpec:
+    """The (deterministic) Table I build on the 2-core UAV platform."""
+    from repro.experiments.table1 import table1_sweep_spec
+
+    return table1_sweep_spec(2)
+
+
+# -- the aggregate summarisers -----------------------------------------------
 
 
 def _payload_sha256(payloads) -> str:
@@ -75,7 +107,7 @@ def _payload_sha256(payloads) -> str:
     return hashlib.sha256(canonical.encode()).hexdigest()
 
 
-def _fig2_aggregate(spec: SweepSpec, payloads) -> list[dict[str, Any]]:
+def fig2_mini_aggregate(spec: SweepSpec, payloads) -> list[dict[str, Any]]:
     points = []
     for point, payload in zip(spec.points, payloads):
         outcomes = acceptance_outcomes(payload)
@@ -94,7 +126,7 @@ def _fig2_aggregate(spec: SweepSpec, payloads) -> list[dict[str, Any]]:
     return points
 
 
-def _fig1_aggregate(spec: SweepSpec, payloads) -> list[dict[str, Any]]:
+def fig1_mini_aggregate(spec: SweepSpec, payloads) -> list[dict[str, Any]]:
     return [
         {
             "cores": payload["cores"],
@@ -105,11 +137,36 @@ def _fig1_aggregate(spec: SweepSpec, payloads) -> list[dict[str, Any]]:
     ]
 
 
-#: name → (spec builder, aggregate summariser); one golden JSON each.
-GOLDEN_FIXTURES = {
-    "fig2_mini": (fig2_mini_spec, _fig2_aggregate),
-    "fig1_mini": (fig1_mini_spec, _fig1_aggregate),
-}
+def fig3_mini_aggregate(spec: SweepSpec, payloads) -> list[dict[str, Any]]:
+    return [
+        {
+            "utilization": point["utilization"],
+            "gaps": payload["gaps"],
+            "hydra_failures": payload["hydra_failures"],
+        }
+        for point, payload in zip(spec.points, payloads)
+    ]
+
+
+def table1_mini_aggregate(spec: SweepSpec, payloads) -> list[dict[str, Any]]:
+    (payload,) = payloads
+    return list(payload["rows"])
+
+
+# -- registry-driven fixture collection --------------------------------------
+
+
+def golden_fixtures() -> dict[str, GoldenFixture]:
+    """Every registered experiment's golden fixture, keyed by fixture
+    name (one JSON file each under ``tests/experiments/golden/``)."""
+    from repro.experiments.registry import iter_experiments
+
+    fixtures: dict[str, GoldenFixture] = {}
+    for experiment in iter_experiments():
+        fixture = experiment.golden_fixture()
+        if fixture is not None:
+            fixtures[fixture.name] = fixture
+    return fixtures
 
 
 def golden_summary(
@@ -117,13 +174,13 @@ def golden_summary(
 ) -> dict[str, Any]:
     """Run the named golden experiment and summarise it for comparison
     against (or regeneration of) its checked-in fixture."""
-    build_spec, aggregate = GOLDEN_FIXTURES[name]
-    spec = build_spec()
+    fixture = golden_fixtures()[name]
+    spec = fixture.build_spec()
     result = (engine or SweepEngine()).run(spec)
     return {
         "name": name,
         "kind": spec.kind,
         "seed": spec.seed,
-        "points": aggregate(spec, result.payloads),
+        "points": fixture.summarize(spec, result.payloads),
         "payload_sha256": _payload_sha256(result.payloads),
     }

@@ -258,7 +258,20 @@ def register_point_runner(
     return decorate
 
 
+#: Modules whose import registers further built-in point runners.  A
+#: worker process only imports *this* module (the pool pickles
+#: ``_execute_point_job`` by reference), so runners living elsewhere —
+#: e.g. the ``scenario`` runner — are resolved by importing their home
+#: module on the first miss.
+_RUNNER_MODULES = ("repro.experiments.scenario",)
+
+
 def get_point_runner(kind: str) -> PointRunner:
+    if kind not in _POINT_RUNNERS:
+        from importlib import import_module
+
+        for module in _RUNNER_MODULES:
+            import_module(module)
     try:
         return _POINT_RUNNERS[kind]
     except KeyError:

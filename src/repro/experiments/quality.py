@@ -16,13 +16,57 @@ stops accepting anything at all (where Fig. 2 takes over the story).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
 
-from repro.experiments.config import ExperimentScale, get_scale
+from repro.experiments.api import Experiment, RawRun
+from repro.experiments.config import ExperimentScale
+from repro.experiments.registry import register_experiment
 from repro.experiments.reporting import format_series, format_table
 from repro.model.platform import Platform
 from repro.taskgen.synthetic import SyntheticConfig, utilization_sweep
 
-__all__ = ["QualityPoint", "QualityResult", "run_quality", "format_quality"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.parallel import SweepEngine, SweepSpec
+
+__all__ = [
+    "QualityPoint",
+    "QualityResult",
+    "QualityExperiment",
+    "quality_sweep_spec",
+    "run_quality",
+    "format_quality",
+]
+
+
+def quality_sweep_spec(
+    scale: ExperimentScale,
+    cores: int = 8,
+    config: SyntheticConfig | None = None,
+) -> "SweepSpec":
+    """The quality sweep as an acceptance sweep (shares Fig. 2's cache
+    namespace; distinct seed offset keeps its streams independent)."""
+    from repro.experiments.parallel import SweepSpec, synthetic_config_to_dict
+
+    platform = Platform(cores)
+    utils = utilization_sweep(
+        platform,
+        step_fraction=scale.utilization_step,
+        start_fraction=scale.utilization_start,
+        stop_fraction=scale.utilization_stop,
+    )
+    return SweepSpec(
+        kind="acceptance",
+        seed=scale.seed + 41,
+        points=tuple({"utilization": u} for u in utils),
+        params={
+            "cores": cores,
+            "tasksets_per_point": scale.tasksets_per_point,
+            "config": (
+                synthetic_config_to_dict(config) if config is not None
+                else None
+            ),
+        },
+    )
 
 
 @dataclass(frozen=True)
@@ -49,6 +93,113 @@ class QualityResult:
     cores: int
 
 
+@register_experiment("quality")
+class QualityExperiment(Experiment):
+    """The monitoring-quality sweep on the unified experiment protocol.
+
+    Defaults to 8 cores: the utilisation band where both schemes accept
+    task sets but achieve different tightness is widest there (on 2
+    cores SingleCore stops accepting anything almost as soon as the
+    quality gap opens).
+    """
+
+    name = "quality"
+    title = "Monitoring quality — tightness on commonly-accepted task sets"
+    description = (
+        "For task sets both schemes accept, compare the mean tightness "
+        "(achievable monitoring frequency) HYDRA and SingleCore reach."
+    )
+    version = 1
+    tags = ("companion",)
+    order = 50
+    columns = (
+        "cores", "utilization", "both_accepted", "mean_tightness_hydra",
+        "mean_tightness_single",
+    )
+
+    def __init__(
+        self, cores: int = 8, config: SyntheticConfig | None = None
+    ) -> None:
+        self.cores = cores
+        self.config = config
+
+    def sweeps(self, scale: ExperimentScale) -> list["SweepSpec"]:
+        return [quality_sweep_spec(scale, cores=self.cores, config=self.config)]
+
+    def aggregate_domain(self, raw: RawRun) -> QualityResult:
+        from repro.experiments.parallel import acceptance_outcomes
+
+        (result,) = raw.sweeps
+        scale = raw.scale
+        points: list[QualityPoint] = []
+        for point, payload in zip(result.spec.points, result.payloads):
+            utilization = float(point["utilization"])
+            hydra_sum = single_sum = 0.0
+            both = 0
+            for outcome in acceptance_outcomes(payload):
+                if outcome.hydra_schedulable and outcome.single_schedulable:
+                    both += 1
+                    hydra_sum += outcome.hydra.mean_tightness()
+                    single_sum += outcome.single.mean_tightness()
+            points.append(
+                QualityPoint(
+                    cores=self.cores,
+                    utilization=utilization,
+                    both_accepted=both,
+                    tasksets=scale.tasksets_per_point,
+                    mean_tightness_hydra=hydra_sum / both if both else 0.0,
+                    mean_tightness_single=single_sum / both if both else 0.0,
+                )
+            )
+        return QualityResult(
+            points=tuple(points), scale=scale.name, cores=self.cores
+        )
+
+    def encode_data(self, domain: QualityResult) -> dict[str, Any]:
+        return {
+            "scale": domain.scale,
+            "cores": domain.cores,
+            "points": [
+                {
+                    "cores": p.cores,
+                    "utilization": p.utilization,
+                    "both_accepted": p.both_accepted,
+                    "tasksets": p.tasksets,
+                    "mean_tightness_hydra": p.mean_tightness_hydra,
+                    "mean_tightness_single": p.mean_tightness_single,
+                }
+                for p in domain.points
+            ],
+        }
+
+    def decode_data(self, data: Mapping[str, Any]) -> QualityResult:
+        return QualityResult(
+            points=tuple(
+                QualityPoint(
+                    cores=int(p["cores"]),
+                    utilization=float(p["utilization"]),
+                    both_accepted=int(p["both_accepted"]),
+                    tasksets=int(p["tasksets"]),
+                    mean_tightness_hydra=float(p["mean_tightness_hydra"]),
+                    mean_tightness_single=float(p["mean_tightness_single"]),
+                )
+                for p in data["points"]
+            ),
+            scale=str(data["scale"]),
+            cores=int(data["cores"]),
+        )
+
+    def render_domain(self, domain: QualityResult) -> str:
+        return format_quality(domain)
+
+    def table_rows(self, domain: QualityResult) -> list[Sequence[Any]]:
+        return [
+            (p.cores, p.utilization, p.both_accepted,
+             p.mean_tightness_hydra, p.mean_tightness_single)
+            for p in domain.points
+        ]
+
+
 def run_quality(
     scale: ExperimentScale | None = None,
     cores: int = 8,
@@ -57,64 +208,16 @@ def run_quality(
 ) -> QualityResult:
     """Run the tightness-quality sweep on a ``cores``-core platform.
 
-    Defaults to 8 cores: the utilisation band where both schemes accept
-    task sets but achieve different tightness is widest there (on 2
-    cores SingleCore stops accepting anything almost as soon as the
-    quality gap opens).  ``engine`` selects the execution strategy
-    (workers, cache); this sweep shares the ``acceptance`` cache
-    namespace with Fig. 2.
-    """
-    from repro.experiments.parallel import (
-        SweepEngine,
-        SweepSpec,
-        acceptance_outcomes,
-        synthetic_config_to_dict,
-    )
+    .. deprecated::
+        Thin shim over ``QualityExperiment`` kept for downstream
+        callers; prefer ``get_experiment("quality").run(scale, engine)``.
 
-    scale = scale or get_scale()
-    engine = engine or SweepEngine()
-    platform = Platform(cores)
-    utils = utilization_sweep(
-        platform,
-        step_fraction=scale.utilization_step,
-        start_fraction=scale.utilization_start,
-        stop_fraction=scale.utilization_stop,
+    ``engine`` selects the execution strategy (workers, cache); this
+    sweep shares the ``acceptance`` cache namespace with Fig. 2.
+    """
+    return QualityExperiment(cores=cores, config=config).run_domain(
+        scale, engine
     )
-    spec = SweepSpec(
-        kind="acceptance",
-        seed=scale.seed + 41,
-        points=tuple({"utilization": u} for u in utils),
-        params={
-            "cores": cores,
-            "tasksets_per_point": scale.tasksets_per_point,
-            "config": (
-                synthetic_config_to_dict(config) if config is not None
-                else None
-            ),
-        },
-    )
-    result = engine.run(spec)
-    points: list[QualityPoint] = []
-    for point, payload in zip(spec.points, result.payloads):
-        utilization = float(point["utilization"])
-        hydra_sum = single_sum = 0.0
-        both = 0
-        for outcome in acceptance_outcomes(payload):
-            if outcome.hydra_schedulable and outcome.single_schedulable:
-                both += 1
-                hydra_sum += outcome.hydra.mean_tightness()
-                single_sum += outcome.single.mean_tightness()
-        points.append(
-            QualityPoint(
-                cores=cores,
-                utilization=utilization,
-                both_accepted=both,
-                tasksets=scale.tasksets_per_point,
-                mean_tightness_hydra=hydra_sum / both if both else 0.0,
-                mean_tightness_single=single_sum / both if both else 0.0,
-            )
-        )
-    return QualityResult(points=tuple(points), scale=scale.name, cores=cores)
 
 
 def format_quality(result: QualityResult) -> str:

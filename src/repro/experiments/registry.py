@@ -1,0 +1,137 @@
+"""Declarative experiment registry.
+
+Experiments self-register with the :func:`register_experiment`
+decorator::
+
+    @register_experiment("fig2")
+    class Fig2Experiment(Experiment):
+        ...
+
+and every consumer — the CLI (subcommands are *generated* from this
+registry), the golden-fixture machinery, ``repro-hydra list`` —
+iterates the registry instead of keeping its own hand-maintained list.
+Third-party code can register additional experiments at import time;
+anything registered before :func:`repro.cli.main` runs gets its own
+subcommand for free.
+
+The built-in drivers live in sibling modules that register on import;
+:func:`_ensure_builtin_experiments` imports them lazily so importing
+this module alone stays cheap and cycle-free.
+"""
+
+from __future__ import annotations
+
+from importlib import import_module
+from typing import Callable, Iterator
+
+from repro.errors import ValidationError
+from repro.experiments.api import Experiment
+
+__all__ = [
+    "register_experiment",
+    "unregister_experiment",
+    "get_experiment",
+    "experiment_names",
+    "iter_experiments",
+    "UnknownExperimentError",
+]
+
+
+class UnknownExperimentError(ValidationError):
+    """Raised when a name resolves to no registered experiment."""
+
+
+#: name → zero-argument factory producing a ready-to-run Experiment.
+_REGISTRY: dict[str, Callable[[], Experiment]] = {}
+
+#: Modules whose import registers the built-in experiments, in the
+#: order ``repro-hydra all`` reports them.
+_BUILTIN_MODULES = (
+    "repro.experiments.table1",
+    "repro.experiments.fig1",
+    "repro.experiments.fig2",
+    "repro.experiments.fig3",
+    "repro.experiments.quality",
+    "repro.experiments.ablations",
+)
+
+
+def _ensure_builtin_experiments() -> None:
+    for module in _BUILTIN_MODULES:
+        import_module(module)
+
+
+def register_experiment(
+    name: str | None = None, *, replace: bool = False
+) -> Callable:
+    """Class/factory decorator registering an experiment under ``name``.
+
+    ``name`` defaults to the class's ``name`` attribute.  Registering a
+    taken name raises unless ``replace=True`` (plugins overriding a
+    built-in must say so explicitly).
+    """
+
+    def decorate(factory: Callable[[], Experiment]):
+        key = name or getattr(factory, "name", "")
+        if not key:
+            raise ValidationError(
+                "experiment needs a registry name (decorator argument or "
+                "a 'name' class attribute)"
+            )
+        if key in _REGISTRY and not replace:
+            raise ValidationError(
+                f"experiment {key!r} already registered; pass replace=True "
+                f"to override"
+            )
+        if isinstance(factory, type):
+            factory.name = factory.name or key  # type: ignore[attr-defined]
+        _REGISTRY[key] = factory
+        return factory
+
+    return decorate
+
+
+def unregister_experiment(name: str) -> None:
+    """Remove ``name`` from the registry (test/plugin hygiene helper)."""
+    _REGISTRY.pop(name, None)
+
+
+def get_experiment(name: str) -> Experiment:
+    """Instantiate the experiment registered under ``name``.
+
+    Raises :class:`UnknownExperimentError` with the full known-name
+    list — the CLI turns this into the "try ``repro-hydra list``" hint.
+    """
+    _ensure_builtin_experiments()
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise UnknownExperimentError(
+            f"unknown experiment {name!r}; known experiments: "
+            f"{', '.join(sorted(_REGISTRY))} (see 'repro-hydra list')"
+        ) from None
+    return factory()
+
+
+def _sorted_names() -> list[str]:
+    index = {name: i for i, name in enumerate(_REGISTRY)}
+    return sorted(
+        _REGISTRY,
+        key=lambda name: (
+            getattr(_REGISTRY[name], "order", 1000), index[name]
+        ),
+    )
+
+
+def experiment_names() -> list[str]:
+    """All registered names, in report order (the experiments'
+    ``order`` attribute, registration order breaking ties)."""
+    _ensure_builtin_experiments()
+    return _sorted_names()
+
+
+def iter_experiments() -> Iterator[Experiment]:
+    """Fresh instances of every registered experiment, in report order."""
+    _ensure_builtin_experiments()
+    for name in _sorted_names():
+        yield _REGISTRY[name]()

@@ -1,0 +1,488 @@
+"""User-defined scenario sweeps: TOML in, experiment out.
+
+The paper evaluates one design point (best-fit partitioning,
+utilisation ordering, exact-RTA admission).  The design *space* is a
+grid — placement heuristic × task ordering × admission test × core
+count — and exploring it should not require writing a driver.  This
+module turns a small declarative TOML document into a first-class
+:class:`~repro.experiments.api.Experiment` that runs through the same
+engine (parallel, cached, byte-deterministic) as the paper figures::
+
+    [sweep]
+    name = "bf-vs-wf"
+    # optional overrides; defaults come from the --scale preset
+    # seed = 2018
+    # tasksets_per_point = 12
+    # utilization = { start = 0.25, stop = 0.75, step = 0.25 }
+
+    [grid]
+    cores = [4, 8]
+    heuristic = ["best-fit", "worst-fit"]
+    ordering = ["rm", "utilization"]
+    admission = ["rta"]
+
+Run it with ``repro-hydra sweep --config scenario.toml``.  Each grid
+cell is labelled ``heuristic/ordering/admission`` and reported as a
+HYDRA acceptance + mean-tightness comparison per core count.  Every
+combination evaluates the *same* generated task sets at each
+utilisation point, so cells are directly comparable.
+"""
+
+from __future__ import annotations
+
+import tomllib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.experiments.ablations import (
+    AllocatorComparison,
+    _cells_from_payloads,
+    _comparison_from_data,
+    _comparison_to_data,
+    format_allocator_comparison,
+)
+from repro.experiments.api import Experiment, RawRun
+from repro.experiments.config import ExperimentScale
+from repro.experiments.parallel import register_point_runner
+from repro.model.platform import Platform
+from repro.partition.heuristics import HEURISTICS, ORDERINGS
+from repro.taskgen.synthetic import utilization_sweep
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.parallel import SweepSpec
+
+__all__ = [
+    "ScenarioConfig",
+    "ScenarioPanel",
+    "ScenarioResult",
+    "ScenarioExperiment",
+    "load_scenario",
+    "parse_scenario",
+    "combo_label",
+]
+
+#: Admission tests a scenario may select (mirrors
+#: :mod:`repro.analysis.schedulability`; kept literal so config errors
+#: surface at parse time, before any point computes).
+_ADMISSIONS = ("rta", "rta-batch", "hyperbolic", "liu-layland", "utilization")
+
+
+def combo_label(heuristic: str, ordering: str, admission: str) -> str:
+    """Scheme label of one grid cell, e.g. ``best-fit/rm/rta``."""
+    return f"{heuristic}/{ordering}/{admission}"
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Validated scenario description (the parsed TOML document).
+
+    ``utilization_*`` and ``tasksets_per_point``/``seed`` of ``None``
+    mean "inherit from the scale preset".
+    """
+
+    name: str
+    cores: tuple[int, ...]
+    heuristics: tuple[str, ...]
+    orderings: tuple[str, ...]
+    admissions: tuple[str, ...]
+    seed: int | None = None
+    tasksets_per_point: int | None = None
+    utilization_start: float | None = None
+    utilization_stop: float | None = None
+    utilization_step: float | None = None
+    title: str = ""
+    description: str = ""
+
+    @property
+    def combos(self) -> list[dict[str, str]]:
+        """All (heuristic, ordering, admission) cells, in grid order."""
+        return [
+            {"heuristic": h, "ordering": o, "admission": a}
+            for h in self.heuristics
+            for o in self.orderings
+            for a in self.admissions
+        ]
+
+
+def _require(
+    condition: bool, message: str
+) -> None:
+    if not condition:
+        raise ValidationError(f"invalid scenario config: {message}")
+
+
+def parse_scenario(document: Mapping[str, Any]) -> ScenarioConfig:
+    """Validate a parsed TOML document into a :class:`ScenarioConfig`.
+
+    Every rejection names the offending key and the accepted values, so
+    a typo in a config fails before any compute is spent.
+    """
+    _require(isinstance(document, Mapping), "top level must be a table")
+    unknown = set(document) - {"sweep", "grid"}
+    _require(
+        not unknown,
+        f"unknown top-level section(s) {sorted(unknown)}; expected "
+        f"[sweep] and [grid]",
+    )
+    sweep = document.get("sweep", {})
+    grid = document.get("grid")
+    _require(isinstance(sweep, Mapping), "[sweep] must be a table")
+    _require(
+        isinstance(grid, Mapping) and len(grid) > 0,
+        "missing [grid] section (cores/heuristic/ordering/admission axes)",
+    )
+
+    known_sweep = {
+        "name", "title", "description", "seed", "tasksets_per_point",
+        "utilization",
+    }
+    unknown = set(sweep) - known_sweep
+    _require(
+        not unknown,
+        f"unknown [sweep] key(s) {sorted(unknown)}; expected "
+        f"{sorted(known_sweep)}",
+    )
+    known_grid = {"cores", "heuristic", "ordering", "admission"}
+    unknown = set(grid) - known_grid
+    _require(
+        not unknown,
+        f"unknown [grid] key(s) {sorted(unknown)}; expected "
+        f"{sorted(known_grid)}",
+    )
+
+    def axis(key: str, allowed: Sequence[str] | None) -> tuple:
+        values = grid.get(key)
+        _require(
+            isinstance(values, list) and len(values) > 0,
+            f"[grid] {key} must be a non-empty list",
+        )
+        if allowed is not None:
+            bad = [v for v in values if v not in allowed]
+            _require(
+                not bad,
+                f"[grid] {key} has unknown value(s) {bad}; expected a "
+                f"subset of {list(allowed)}",
+            )
+        _require(
+            len(set(values)) == len(values),
+            f"[grid] {key} has duplicate values",
+        )
+        return tuple(values)
+
+    cores_values = grid.get("cores")
+    _require(
+        isinstance(cores_values, list) and len(cores_values) > 0,
+        "[grid] cores must be a non-empty list of core counts",
+    )
+    _require(
+        all(isinstance(c, int) and c >= 1 for c in cores_values),
+        "[grid] cores entries must be integers >= 1",
+    )
+    _require(
+        len(set(cores_values)) == len(cores_values),
+        "[grid] cores has duplicate values",
+    )
+
+    name = sweep.get("name", "custom-sweep")
+    _require(
+        isinstance(name, str) and name != "",
+        "[sweep] name must be a non-empty string",
+    )
+    seed = sweep.get("seed")
+    _require(
+        seed is None or isinstance(seed, int),
+        "[sweep] seed must be an integer",
+    )
+    tasksets = sweep.get("tasksets_per_point")
+    _require(
+        tasksets is None or (isinstance(tasksets, int) and tasksets >= 1),
+        "[sweep] tasksets_per_point must be an integer >= 1",
+    )
+
+    util = sweep.get("utilization", {})
+    _require(
+        isinstance(util, Mapping),
+        "[sweep] utilization must be a table of start/stop/step",
+    )
+    unknown = set(util) - {"start", "stop", "step"}
+    _require(
+        not unknown,
+        f"unknown [sweep] utilization key(s) {sorted(unknown)}; expected "
+        f"start/stop/step",
+    )
+    for key in ("start", "stop", "step"):
+        value = util.get(key)
+        _require(
+            value is None or (
+                isinstance(value, (int, float)) and 0 < float(value) <= 1
+            ),
+            f"[sweep] utilization {key} must lie in (0, 1]",
+        )
+    if util.get("start") is not None and util.get("stop") is not None:
+        _require(
+            float(util["start"]) <= float(util["stop"]),
+            "[sweep] utilization start must not exceed stop",
+        )
+
+    return ScenarioConfig(
+        name=name,
+        title=str(sweep.get("title", "")),
+        description=str(sweep.get("description", "")),
+        cores=tuple(int(c) for c in cores_values),
+        heuristics=axis("heuristic", HEURISTICS),
+        orderings=axis("ordering", ORDERINGS),
+        admissions=axis("admission", _ADMISSIONS),
+        seed=seed,
+        tasksets_per_point=tasksets,
+        utilization_start=(
+            float(util["start"]) if util.get("start") is not None else None
+        ),
+        utilization_stop=(
+            float(util["stop"]) if util.get("stop") is not None else None
+        ),
+        utilization_step=(
+            float(util["step"]) if util.get("step") is not None else None
+        ),
+    )
+
+
+def load_scenario(path: str | Path) -> ScenarioConfig:
+    """Parse and validate a scenario TOML file."""
+    path = Path(path)
+    try:
+        raw = path.read_bytes()
+    except OSError as exc:
+        raise ValidationError(f"cannot read scenario config: {exc}") from None
+    try:
+        document = tomllib.loads(raw.decode())
+    except (tomllib.TOMLDecodeError, UnicodeDecodeError) as exc:
+        raise ValidationError(
+            f"{path} is not valid TOML: {exc}"
+        ) from None
+    return parse_scenario(document)
+
+
+# -- point runner ------------------------------------------------------------
+
+
+@register_point_runner("scenario")
+def run_scenario_point(
+    point: Mapping[str, Any],
+    params: Mapping[str, Any],
+    rng: np.random.Generator,
+) -> dict[str, Any]:
+    """HYDRA acceptance/tightness for every (heuristic, ordering,
+    admission) combo on shared task sets at one utilisation point."""
+    from repro.core.hydra import HydraAllocator
+    from repro.model.system import SystemModel
+    from repro.partition.heuristics import try_partition_tasks
+    from repro.taskgen.synthetic import generate_workload
+
+    platform = Platform(int(params["cores"]))
+    combos = [dict(c) for c in params["combos"]]
+    allocator = HydraAllocator()
+    cells = {
+        combo_label(**c): {"accepted": 0, "total": 0, "tightness_sum": 0.0}
+        for c in combos
+    }
+    for _ in range(int(params["tasksets_per_point"])):
+        workload = generate_workload(
+            platform, float(point["utilization"]), rng
+        )
+        for combo in combos:
+            cell = cells[combo_label(**combo)]
+            cell["total"] += 1
+            partition = try_partition_tasks(
+                workload.rt_tasks,
+                platform,
+                heuristic=combo["heuristic"],
+                admission=combo["admission"],
+                ordering=combo["ordering"],
+            )
+            if partition is None:
+                continue
+            system = SystemModel(
+                platform=platform,
+                rt_partition=partition,
+                security_tasks=workload.security_tasks,
+            )
+            allocation = allocator.allocate(system)
+            if allocation.schedulable:
+                cell["accepted"] += 1
+                cell["tightness_sum"] += allocation.mean_tightness()
+    return {"cells": cells}
+
+
+# -- the experiment ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScenarioPanel:
+    """One core count's comparison across all grid cells."""
+
+    cores: int
+    comparison: AllocatorComparison
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """All panels of one scenario sweep."""
+
+    name: str
+    scale: str
+    panels: tuple[ScenarioPanel, ...] = field(default_factory=tuple)
+
+
+class ScenarioExperiment(Experiment):
+    """A TOML-defined design-space sweep on the experiment protocol.
+
+    Not registered by name — the CLI's ``sweep`` subcommand builds one
+    from ``--config``; programmatic callers construct it from a
+    :class:`ScenarioConfig` (see :func:`load_scenario`).
+    """
+
+    version = 1
+    tags = ("scenario",)
+    columns = (
+        "cores", "utilization", "scheme", "acceptance", "mean_tightness",
+    )
+
+    def __init__(self, config: ScenarioConfig) -> None:
+        self.config = config
+        self.name = f"sweep:{config.name}"
+        self.title = config.title or f"Scenario sweep '{config.name}'"
+        self.description = config.description
+
+    def _utilizations(self, scale: ExperimentScale, cores: int) -> list[float]:
+        cfg = self.config
+        start = (
+            cfg.utilization_start
+            if cfg.utilization_start is not None
+            else scale.utilization_start
+        )
+        stop = (
+            cfg.utilization_stop
+            if cfg.utilization_stop is not None
+            else scale.utilization_stop
+        )
+        step = (
+            cfg.utilization_step
+            if cfg.utilization_step is not None
+            else scale.utilization_step
+        )
+        # A partial override can invert the range only once combined
+        # with the scale preset, so re-check the *effective* grid here
+        # and name the config — not deep inside utilization_sweep.
+        if not (0.0 < start <= stop <= 1.0):
+            raise ValidationError(
+                f"invalid scenario config: effective utilization range "
+                f"start={start} stop={stop} (combined with scale "
+                f"{scale.name!r}) must satisfy 0 < start <= stop <= 1"
+            )
+        return list(
+            utilization_sweep(
+                Platform(cores),
+                step_fraction=step,
+                start_fraction=start,
+                stop_fraction=stop,
+            )
+        )
+
+    def sweeps(self, scale: ExperimentScale) -> list["SweepSpec"]:
+        from repro.experiments.parallel import SweepSpec
+
+        cfg = self.config
+        seed = cfg.seed if cfg.seed is not None else scale.seed
+        tasksets = (
+            cfg.tasksets_per_point
+            if cfg.tasksets_per_point is not None
+            else scale.tasksets_per_point
+        )
+        return [
+            SweepSpec(
+                kind="scenario",
+                seed=seed + cores,
+                points=tuple(
+                    {"utilization": u}
+                    for u in self._utilizations(scale, cores)
+                ),
+                params={
+                    "cores": cores,
+                    "tasksets_per_point": tasksets,
+                    "combos": cfg.combos,
+                },
+            )
+            for cores in cfg.cores
+        ]
+
+    def aggregate_domain(self, raw: RawRun) -> ScenarioResult:
+        labels = [combo_label(**c) for c in self.config.combos]
+        panels = []
+        for result in raw.sweeps:
+            tasksets = int(result.spec.params["tasksets_per_point"])
+            panels.append(
+                ScenarioPanel(
+                    cores=int(result.spec.params["cores"]),
+                    comparison=AllocatorComparison(
+                        cells=_cells_from_payloads(
+                            result.spec, result.payloads, labels
+                        ),
+                        cores=int(result.spec.params["cores"]),
+                        tasksets_per_point=tasksets,
+                    ),
+                )
+            )
+        return ScenarioResult(
+            name=self.config.name,
+            scale=raw.scale.name,
+            panels=tuple(panels),
+        )
+
+    def encode_data(self, domain: ScenarioResult) -> dict[str, Any]:
+        return {
+            "name": domain.name,
+            "scale": domain.scale,
+            "panels": [
+                {
+                    "cores": panel.cores,
+                    "comparison": _comparison_to_data(panel.comparison),
+                }
+                for panel in domain.panels
+            ],
+        }
+
+    def decode_data(self, data: Mapping[str, Any]) -> ScenarioResult:
+        return ScenarioResult(
+            name=str(data["name"]),
+            scale=str(data["scale"]),
+            panels=tuple(
+                ScenarioPanel(
+                    cores=int(p["cores"]),
+                    comparison=_comparison_from_data(p["comparison"]),
+                )
+                for p in data["panels"]
+            ),
+        )
+
+    def render_domain(self, domain: ScenarioResult) -> str:
+        blocks = [
+            format_allocator_comparison(
+                panel.comparison,
+                f"Scenario '{domain.name}' — "
+                f"heuristic/ordering/admission grid",
+            )
+            for panel in domain.panels
+        ]
+        return "\n\n".join(blocks)
+
+    def table_rows(self, domain: ScenarioResult) -> list[Sequence[Any]]:
+        return [
+            (panel.cores, c.utilization, c.scheme, c.acceptance,
+             c.mean_tightness)
+            for panel in domain.panels
+            for c in panel.comparison.cells
+        ]

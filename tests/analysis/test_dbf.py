@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.analysis.dbf import (
     dbf_check_points,
     demand_bound,

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.core.hydra import HydraAllocator
 from repro.core.variants import (
     FirstFeasibleAllocator,

@@ -2,9 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
-import pytest
-
 from repro.experiments.runner import (
     build_hydra_system,
     run_acceptance_trial,

@@ -19,12 +19,12 @@ from pathlib import Path
 import pytest
 
 from repro.experiments.cache import ResultCache
-from repro.experiments.golden import GOLDEN_FIXTURES, golden_summary
+from repro.experiments.golden import golden_fixtures, golden_summary
 from repro.experiments.parallel import SweepEngine
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
 
-_NAMES = sorted(GOLDEN_FIXTURES)
+_NAMES = sorted(golden_fixtures())
 
 
 def _fixture(name: str) -> dict:
@@ -58,6 +58,29 @@ def test_cached_rerun_reproduces_fixture(tmp_path):
     )
     assert golden_summary(name, warm_engine) == _fixture(name)
     assert computed == []  # second run came entirely from the cache
+
+
+def test_fixture_files_match_registry():
+    """Every registry-declared fixture is pinned on disk, and nothing
+    stale lingers after an experiment stops declaring one."""
+    on_disk = {p.stem for p in GOLDEN_DIR.glob("*.json")}
+    assert on_disk == set(_NAMES)
+
+
+def test_fig3_and_table1_fixture_sanity():
+    fig3 = _fixture("fig3_mini")
+    assert fig3["kind"] == "fig3-gap"
+    assert len(fig3["points"]) == 3
+    for point in fig3["points"]:
+        assert all(0.0 <= g <= 100.0 for g in point["gaps"])
+        assert point["hydra_failures"] <= len(point["gaps"])
+
+    table1 = _fixture("table1_mini")
+    assert table1["kind"] == "table1"
+    rows = table1["points"]
+    assert len(rows) == 6
+    for row in rows:
+        assert row["period_des"] <= row["hydra_period"] <= row["period_max"]
 
 
 def test_fixture_sanity():

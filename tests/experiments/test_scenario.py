@@ -1,0 +1,233 @@
+"""Tests for TOML-defined scenario sweeps: parsing/validation, the
+experiment itself, and engine determinism (serial ≡ parallel ≡ cached)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.experiments.cache import ResultCache
+from repro.experiments.config import SCALES
+from repro.experiments.parallel import SweepEngine
+from repro.experiments.scenario import (
+    ScenarioExperiment,
+    combo_label,
+    load_scenario,
+    parse_scenario,
+)
+
+SMOKE = SCALES["smoke"]
+
+GOOD_TOML = """
+[sweep]
+name = "mini"
+tasksets_per_point = 3
+
+[grid]
+cores = [2, 4]
+heuristic = ["best-fit", "worst-fit"]
+ordering = ["rm", "utilization"]
+admission = ["rta"]
+"""
+
+
+def _good_document() -> dict:
+    return {
+        "sweep": {"name": "mini", "tasksets_per_point": 3},
+        "grid": {
+            "cores": [2, 4],
+            "heuristic": ["best-fit", "worst-fit"],
+            "ordering": ["rm", "utilization"],
+            "admission": ["rta"],
+        },
+    }
+
+
+class TestParsing:
+    def test_happy_path(self, tmp_path):
+        path = tmp_path / "sweep.toml"
+        path.write_text(GOOD_TOML)
+        config = load_scenario(path)
+        assert config.name == "mini"
+        assert config.cores == (2, 4)
+        assert config.tasksets_per_point == 3
+        assert len(config.combos) == 4  # 2 heuristics × 2 orderings × 1 test
+        assert config.combos[0] == {
+            "heuristic": "best-fit", "ordering": "rm", "admission": "rta",
+        }
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ValidationError, match="cannot read"):
+            load_scenario(tmp_path / "absent.toml")
+
+    def test_invalid_toml(self, tmp_path):
+        path = tmp_path / "bad.toml"
+        path.write_text("[grid\ncores = [2]")
+        with pytest.raises(ValidationError, match="not valid TOML"):
+            load_scenario(path)
+
+    def test_missing_grid(self):
+        with pytest.raises(ValidationError, match=r"\[grid\]"):
+            parse_scenario({"sweep": {"name": "x"}})
+
+    def test_unknown_heuristic_named_in_error(self):
+        document = _good_document()
+        document["grid"]["heuristic"] = ["best-fit", "magic-fit"]
+        with pytest.raises(ValidationError, match="magic-fit"):
+            parse_scenario(document)
+
+    def test_unknown_ordering_rejected(self):
+        document = _good_document()
+        document["grid"]["ordering"] = ["alphabetical"]
+        with pytest.raises(ValidationError, match="alphabetical"):
+            parse_scenario(document)
+
+    def test_unknown_admission_rejected(self):
+        document = _good_document()
+        document["grid"]["admission"] = ["vibes"]
+        with pytest.raises(ValidationError, match="vibes"):
+            parse_scenario(document)
+
+    def test_empty_axis_rejected(self):
+        document = _good_document()
+        document["grid"]["heuristic"] = []
+        with pytest.raises(ValidationError, match="non-empty"):
+            parse_scenario(document)
+
+    def test_bad_cores_rejected(self):
+        document = _good_document()
+        document["grid"]["cores"] = [0, 2]
+        with pytest.raises(ValidationError, match="cores"):
+            parse_scenario(document)
+
+    def test_unknown_sweep_key_rejected(self):
+        document = _good_document()
+        document["sweep"]["taskset_per_point"] = 3  # typo
+        with pytest.raises(ValidationError, match="taskset_per_point"):
+            parse_scenario(document)
+
+    def test_unknown_grid_key_rejected(self):
+        document = _good_document()
+        document["grid"]["heuristics"] = ["best-fit"]  # typo
+        with pytest.raises(ValidationError, match="heuristics"):
+            parse_scenario(document)
+
+    def test_utilization_bounds_checked(self):
+        document = _good_document()
+        document["sweep"]["utilization"] = {"start": 0.5, "stop": 1.5}
+        with pytest.raises(ValidationError, match="stop"):
+            parse_scenario(document)
+
+    def test_duplicate_axis_values_rejected(self):
+        document = _good_document()
+        document["grid"]["heuristic"] = ["best-fit", "best-fit"]
+        with pytest.raises(ValidationError, match="duplicate"):
+            parse_scenario(document)
+
+    def test_inverted_utilization_range_rejected_at_parse(self):
+        document = _good_document()
+        document["sweep"]["utilization"] = {"start": 0.9, "stop": 0.3}
+        with pytest.raises(ValidationError, match="must not exceed stop"):
+            parse_scenario(document)
+
+    def test_partial_override_inverting_scale_range_fails_cleanly(self):
+        # start=0.9 alone passes parse (no stop to compare against) but
+        # inverts against smoke's stop=0.75; sweeps() must reject it
+        # with a message naming the effective range, not a raw
+        # traceback from utilization_sweep.
+        document = _good_document()
+        document["sweep"]["utilization"] = {"start": 0.9}
+        experiment = ScenarioExperiment(parse_scenario(document))
+        with pytest.raises(ValidationError, match="effective utilization"):
+            experiment.sweeps(SMOKE)
+
+
+def _mini_experiment() -> ScenarioExperiment:
+    document = _good_document()
+    document["grid"]["cores"] = [2]
+    document["sweep"]["utilization"] = {
+        "start": 0.25, "stop": 0.75, "step": 0.25,
+    }
+    return ScenarioExperiment(parse_scenario(document))
+
+
+class TestScenarioExperiment:
+    def test_sweep_specs_one_per_core_count(self):
+        config = parse_scenario(_good_document())
+        experiment = ScenarioExperiment(config)
+        specs = experiment.sweeps(SMOKE)
+        assert [s.params["cores"] for s in specs] == [2, 4]
+        assert all(s.kind == "scenario" for s in specs)
+        # distinct seeds per panel keep streams independent
+        assert len({s.seed for s in specs}) == 2
+
+    def test_run_produces_all_grid_cells(self):
+        experiment = _mini_experiment()
+        domain = experiment.run_domain(SMOKE)
+        (panel,) = domain.panels
+        labels = {c.scheme for c in panel.comparison.cells}
+        assert labels == {
+            combo_label(h, o, "rta")
+            for h in ("best-fit", "worst-fit")
+            for o in ("rm", "utilization")
+        }
+        for cell in panel.comparison.cells:
+            assert 0.0 <= cell.acceptance <= 1.0
+            assert 0.0 <= cell.mean_tightness <= 1.0
+
+    def test_result_round_trips_and_renders(self):
+        from repro.experiments import ExperimentResult
+
+        experiment = _mini_experiment()
+        result = experiment.run(SMOKE)
+        loaded = ExperimentResult.from_json(result.to_json())
+        assert loaded == result
+        text = experiment.render(loaded)
+        assert "bf-vs-wf" not in text  # this mini config is named 'mini'
+        assert "mini" in text
+        assert "best-fit/rm/rta" in text
+
+    def test_serial_parallel_cached_byte_identical(self, tmp_path):
+        experiment = _mini_experiment()
+        (spec,) = experiment.sweeps(SMOKE)
+
+        serial = SweepEngine(workers=1).run(spec)
+        parallel = SweepEngine(workers=4).run(spec)
+        assert (
+            json.dumps(serial.payloads, sort_keys=True)
+            == json.dumps(parallel.payloads, sort_keys=True)
+        )
+
+        cache = ResultCache(tmp_path)
+        cold = SweepEngine(cache=cache).run(spec)
+        assert cold.payloads == serial.payloads
+        computed: list[int] = []
+        warm = SweepEngine(
+            cache=ResultCache(tmp_path), on_point_computed=computed.append
+        ).run(spec)
+        assert warm.payloads == serial.payloads
+        assert computed == []  # warm run came entirely from the cache
+
+    def test_shared_task_sets_make_rta_dominate_utilization_test(self):
+        # On identical task sets, an exact-RTA admission can only accept
+        # *more* than the (sufficient-only) utilisation-bound test.
+        document = _good_document()
+        document["grid"] = {
+            "cores": [2],
+            "heuristic": ["best-fit"],
+            "ordering": ["utilization"],
+            "admission": ["rta", "utilization"],
+        }
+        document["sweep"]["utilization"] = {
+            "start": 0.5, "stop": 0.9, "step": 0.2,
+        }
+        document["sweep"]["tasksets_per_point"] = 6
+        experiment = ScenarioExperiment(parse_scenario(document))
+        domain = experiment.run_domain(SMOKE)
+        (panel,) = domain.panels
+        rta = panel.comparison.series("best-fit/utilization/rta")
+        util = panel.comparison.series("best-fit/utilization/utilization")
+        for rta_cell, util_cell in zip(rta, util):
+            assert rta_cell.acceptance >= util_cell.acceptance

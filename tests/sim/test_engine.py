@@ -7,7 +7,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.errors import SimulationError, ValidationError
+from repro.errors import ValidationError
 from repro.sim.engine import SimTask, Simulator
 
 

@@ -34,8 +34,6 @@ class TestExecutionFactor:
             [task], num_cores=1, duration=500.0, rng=2,
             collect_slices=True,
         ).run()
-        from repro.sim.trace import busy_time_by_task, merge_slices
-
         # Per-job execution: reconstruct from response times of the
         # isolated task (no interference → response = execution).
         for job in result.jobs:

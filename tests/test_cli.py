@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.experiments import ExperimentResult, experiment_names
 
 
 class TestParser:
@@ -67,3 +70,156 @@ class TestMain:
         capsys.readouterr()
         lines = (tmp_path / "table1.csv").read_text().strip().splitlines()
         assert len(lines) == 7  # header + six security tasks
+
+
+class TestGeneratedSubcommands:
+    def test_every_registered_experiment_has_a_subcommand(self):
+        parser = build_parser()
+        for name in experiment_names():
+            args = parser.parse_args([name])
+            assert args.experiment == name
+
+    def test_unknown_experiment_hints_at_list(self, capsys):
+        assert main(["fig9"]) == 2
+        err = capsys.readouterr().err
+        assert "fig9" in err
+        assert "repro-hydra list" in err
+
+    def test_option_before_command_is_not_mistaken_for_experiment(
+        self, capsys
+    ):
+        # '--scale smoke fig2' is an argparse usage error now that the
+        # command leads, but the value 'smoke' must not be reported as
+        # an unknown *experiment*.
+        with pytest.raises(SystemExit):
+            main(["--scale", "smoke", "fig2"])
+        err = capsys.readouterr().err
+        assert "unknown experiment 'smoke'" not in err
+
+
+class TestList:
+    def test_text_lists_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in experiment_names():
+            assert name in out
+        assert "sweep --config" in out
+
+    def test_json_lists_specs(self, capsys):
+        assert main(["list", "--format", "json"]) == 0
+        specs = json.loads(capsys.readouterr().out)
+        assert [s["name"] for s in specs] == experiment_names()
+        assert all("title" in s and "version" in s for s in specs)
+
+
+class TestOutputFormats:
+    def test_json_to_stdout(self, capsys):
+        assert main(["table1", "--format", "json"]) == 0
+        result = ExperimentResult.from_json(capsys.readouterr().out)
+        assert result.experiment == "table1"
+        assert len(result.rows) == 6
+
+    def test_json_to_file(self, tmp_path, capsys):
+        target = tmp_path / "out" / "table1.json"
+        assert main(
+            ["table1", "--format", "json", "--output", str(target)]
+        ) == 0
+        capsys.readouterr()
+        result = ExperimentResult.from_json(target.read_text())
+        assert result.experiment == "table1"
+
+    def test_csv_to_file(self, tmp_path, capsys):
+        target = tmp_path / "table1.csv"
+        assert main(
+            ["table1", "--format", "csv", "--output", str(target)]
+        ) == 0
+        capsys.readouterr()
+        lines = target.read_text().strip().splitlines()
+        assert lines[0].startswith("task,application")
+        assert len(lines) == 7
+
+    def test_text_to_file_leaves_stdout_quiet(self, tmp_path, capsys):
+        target = tmp_path / "report.txt"
+        assert main(["table1", "--output", str(target)]) == 0
+        assert capsys.readouterr().out == ""
+        assert "Table I" in target.read_text()
+
+    def test_csv_format_rejects_multi_experiment_runs(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["ablations", "--scale", "smoke", "--format", "csv"])
+
+
+class TestSweepCommand:
+    def _write_config(self, tmp_path, text: str):
+        path = tmp_path / "sweep.toml"
+        path.write_text(text)
+        return str(path)
+
+    def test_happy_path(self, tmp_path, capsys):
+        config = self._write_config(
+            tmp_path,
+            """
+            [sweep]
+            name = "cli-mini"
+            tasksets_per_point = 2
+            utilization = { start = 0.5, stop = 0.5, step = 0.5 }
+
+            [grid]
+            cores = [2]
+            heuristic = ["best-fit", "worst-fit"]
+            ordering = ["rm"]
+            admission = ["rta"]
+            """,
+        )
+        assert main(["sweep", "--config", config, "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "cli-mini" in out
+        assert "best-fit/rm/rta" in out
+        assert "worst-fit/rm/rta" in out
+
+    def test_requires_config(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep"])
+
+    def test_validation_error_is_reported(self, tmp_path, capsys):
+        config = self._write_config(
+            tmp_path,
+            """
+            [grid]
+            cores = [2]
+            heuristic = ["magic-fit"]
+            ordering = ["rm"]
+            admission = ["rta"]
+            """,
+        )
+        with pytest.raises(SystemExit):
+            main(["sweep", "--config", config])
+        assert "magic-fit" in capsys.readouterr().err
+
+    def test_missing_config_file_is_reported(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--config", str(tmp_path / "absent.toml")])
+        assert "cannot read" in capsys.readouterr().err
+
+
+class TestScalePrecedence:
+    """--scale beats $REPRO_SCALE beats the 'default' fallback."""
+
+    def test_flag_wins_over_env(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "paper")
+        assert main(["fig2", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "scale=smoke" in out
+
+    def test_env_used_without_flag(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        assert main(["fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "scale=smoke" in out
+
+    def test_bad_env_scale_errors_cleanly(self, capsys, monkeypatch):
+        from repro.errors import ValidationError
+
+        monkeypatch.setenv("REPRO_SCALE", "galactic")
+        with pytest.raises(ValidationError, match="galactic"):
+            main(["fig2"])

@@ -10,7 +10,6 @@ noise.  The stretch-T_max and add-core hints are checked exactly;
 from __future__ import annotations
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -4,7 +4,13 @@
 Run after an *intended* behaviour change (new allocation rule, RNG
 recipe change, …) and commit the updated JSON together with the code::
 
-    PYTHONPATH=src python tools/regen_golden.py
+    PYTHONPATH=src python tools/regen_golden.py [name ...]
+
+With no arguments every fixture regenerates; naming fixtures (e.g.
+``fig2_mini``) restricts the run.  The fixture set is discovered from
+the *experiment registry* — every registered experiment that declares
+a ``golden_fixture()`` contributes one file — so a new experiment's
+fixture shows up here with no list to maintain.
 
 The fixtures live in ``tests/experiments/golden/`` and are asserted by
 ``tests/experiments/test_golden.py`` in both serial and parallel
@@ -17,7 +23,7 @@ import json
 import sys
 from pathlib import Path
 
-from repro.experiments.golden import GOLDEN_FIXTURES, golden_summary
+from repro.experiments.golden import golden_fixtures, golden_summary
 
 GOLDEN_DIR = (
     Path(__file__).resolve().parent.parent
@@ -25,9 +31,20 @@ GOLDEN_DIR = (
 )
 
 
-def main() -> int:
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    fixtures = golden_fixtures()
+    selected = argv or sorted(fixtures)
+    unknown = [name for name in selected if name not in fixtures]
+    if unknown:
+        print(
+            f"unknown fixture(s) {unknown}; registry provides "
+            f"{sorted(fixtures)}",
+            file=sys.stderr,
+        )
+        return 2
     GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
-    for name in GOLDEN_FIXTURES:
+    for name in selected:
         summary = golden_summary(name)
         target = GOLDEN_DIR / f"{name}.json"
         target.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
