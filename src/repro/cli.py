@@ -18,7 +18,19 @@ Sweeps run through the :class:`repro.experiments.parallel.SweepEngine`:
 identical to a serial run — every point has its own SeedSequence
 stream), ``--cache-dir DIR`` caches per-point results on disk so
 re-runs and extended sweeps only compute missing points, and
-``--resume`` is shorthand for caching in ``.repro-cache``.
+``--resume`` is shorthand for caching in ``.repro-cache``.  One
+invocation forks at most one worker pool: every selected experiment's
+sweeps reuse the shared :class:`repro.experiments.pool.WorkerPool`,
+which is shut down when the run finishes (set ``REPRO_LOG=info`` to
+watch the spawn happen exactly once).  Caches are sharded v2 stores
+(:mod:`repro.experiments.store`); pointing ``--cache-dir`` at an old
+v1 JSON-per-point directory migrates it in place, and::
+
+    repro-hydra cache stats   [--cache-dir DIR]
+    repro-hydra cache migrate [--cache-dir DIR]
+    repro-hydra cache gc      [--cache-dir DIR]
+
+inspects, migrates, or compacts a store without running anything.
 
 Results are structured: ``--format json`` emits the versioned
 :class:`~repro.experiments.api.ExperimentResult` document (readable
@@ -37,7 +49,7 @@ import sys
 from pathlib import Path
 from typing import TYPE_CHECKING, Sequence
 
-from repro.errors import ValidationError
+from repro.errors import CacheError, ValidationError
 from repro.experiments.config import get_scale
 from repro.experiments.registry import (
     experiment_names,
@@ -55,7 +67,7 @@ __all__ = ["main", "build_parser"]
 DEFAULT_CACHE_DIR = ".repro-cache"
 
 #: Meta commands that are not registry experiments.
-_META_COMMANDS = ("list", "all", "ablations", "sweep")
+_META_COMMANDS = ("list", "all", "ablations", "sweep", "cache")
 
 _FORMATS = ("text", "json", "csv")
 
@@ -195,6 +207,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_run_options(sweep)
 
+    cache = subparsers.add_parser(
+        "cache",
+        help="inspect, migrate, or compact an on-disk result store",
+        description=(
+            "Maintain a sweep result store: 'stats' reports shards, "
+            "entry counts and bytes (without mutating anything), "
+            "'migrate' ingests a v1 JSON-per-point directory into the "
+            "sharded v2 layout, 'gc' compacts shards by dropping "
+            "superseded and torn records."
+        ),
+    )
+    cache.add_argument(
+        "action",
+        choices=("stats", "migrate", "gc"),
+        help="what to do with the store",
+    )
+    cache.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=DEFAULT_CACHE_DIR,
+        help=f"store root (default: '{DEFAULT_CACHE_DIR}')",
+    )
+
     return parser
 
 
@@ -255,8 +290,82 @@ def _run_list(args) -> int:
     return 0
 
 
+def _run_cache(args) -> int:
+    from repro.experiments.store import ResultStore
+
+    directory = args.cache_dir
+    if args.action == "stats":
+        # Genuinely read-only: no root creation, no migration, no
+        # index-rebuild persisting — a typoed directory reads as empty
+        # instead of being silently created.
+        stats = ResultStore(directory, readonly=True).stats()
+        fmt = "v2" if stats["migrated"] else "v1/unmigrated"
+        print(
+            f"store {stats['directory']} ({fmt}): "
+            f"{stats['entries']} entries, {stats['data_bytes']} data bytes, "
+            f"{len(stats['shards'])} shard(s)"
+        )
+        for kind, shard in sorted(stats["shards"].items()):
+            print(
+                f"  {kind:<24} {shard['entries']:>8} entries "
+                f"{shard['data_bytes']:>12} bytes"
+            )
+        if stats["pending_v1_entries"]:
+            print(
+                f"  {stats['pending_v1_entries']} v1 entr"
+                f"{'y' if stats['pending_v1_entries'] == 1 else 'ies'} "
+                f"pending migration (run 'repro-hydra cache migrate')"
+            )
+        return 0
+    # The mutating verbs refuse to conjure a store out of thin air — a
+    # typoed --cache-dir must error, not report success on a fresh
+    # empty directory (stats above is read-only and needs no guard).
+    if not Path(directory).is_dir():
+        raise ValidationError(
+            f"no cache directory at {directory!r}; nothing to "
+            f"{args.action}"
+        )
+    if args.action == "migrate":
+        store = ResultStore(directory, migrate=False)
+        migrated = store.migrate()
+        print(
+            f"migrated {migrated} v1 entr"
+            f"{'y' if migrated == 1 else 'ies'} into {directory} "
+            f"({len(store)} entries total)"
+        )
+        return 0
+    summary = ResultStore(directory).gc()
+    print(
+        f"gc {directory}: {summary['entries']} live entries across "
+        f"{len(summary['shards'])} shard(s), "
+        f"{summary['reclaimed_bytes']} bytes reclaimed"
+    )
+    return 0
+
+
+def _configure_logging() -> None:
+    """Honour ``REPRO_LOG`` (e.g. ``info``, ``debug``): the pool logs
+    its spawns at INFO, so ``REPRO_LOG=info`` makes reuse observable
+    on stderr without touching normal output."""
+    import logging
+    import os
+
+    level_name = os.environ.get("REPRO_LOG")
+    if not level_name:
+        return
+    level = getattr(logging, level_name.upper(), None)
+    if not isinstance(level, int):
+        return
+    logging.basicConfig(
+        stream=sys.stderr,
+        level=level,
+        format="%(name)s: %(message)s",
+    )
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
+    _configure_logging()
 
     # Registry lookup with a helpful error: an unknown command token —
     # e.g. a plugin experiment that was never imported, or a typo —
@@ -278,13 +387,22 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.experiment == "list":
         return _run_list(args)
+    if args.experiment == "cache":
+        try:
+            return _run_cache(args)
+        except (ValidationError, CacheError) as exc:
+            parser.error(str(exc))
 
     if args.workers is not None and args.workers < 0:
         parser.error(f"--workers must be >= 0, got {args.workers}")
     scale = get_scale(args.scale)
     if args.seed is not None:
         scale = scale.with_overrides(seed=args.seed)
-    engine = _build_engine(args)
+    try:
+        engine = _build_engine(args)
+    except CacheError as exc:
+        # An unusable --cache-dir fails fast, before any point computes.
+        parser.error(str(exc))
 
     try:
         experiments = _selected_experiments(args)
@@ -300,6 +418,9 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     results = []
     try:
+        # Every experiment runs through the same engine, and the engine
+        # attaches to the shared worker pool on first parallel sweep —
+        # one fork for the whole invocation, reaped when the runs end.
         for experiment in experiments:
             results.append((experiment, experiment.run(scale, engine)))
     except ValidationError as exc:
@@ -307,6 +428,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         # only becomes resolvable against the scale) surface as clean
         # CLI errors, not tracebacks.
         parser.error(str(exc))
+    finally:
+        from repro.experiments.pool import shutdown_shared_pool
+
+        shutdown_shared_pool()
 
     if args.csv:
         target = Path(args.csv)

@@ -29,6 +29,16 @@ class PartitioningError(ReproError):
         self.unplaced_task = unplaced_task
 
 
+class CacheError(ReproError, OSError):
+    """The on-disk result store cannot be created, read, or written.
+
+    Raised fail-fast when a cache/store root is unusable — before any
+    sweep point has burned compute that could not be persisted.  Also an
+    :class:`OSError` so pre-existing handlers for filesystem failures
+    keep working.
+    """
+
+
 class InfeasibleError(ReproError):
     """An optimisation problem has an empty feasible region."""
 

@@ -19,7 +19,12 @@
   scaling presets (env var ``REPRO_SCALE``).
 * :mod:`repro.experiments.parallel` — the parallel/cached/resumable
   :class:`SweepEngine` every experiment runs through.
-* :mod:`repro.experiments.cache` — the on-disk per-point result cache.
+* :mod:`repro.experiments.pool` — the persistent :class:`WorkerPool`
+  shared across sweeps (one fork per CLI invocation/pytest session).
+* :mod:`repro.experiments.store` — the sharded, append-only
+  :class:`ResultStore` (cache format v2; migrates v1 automatically).
+* :mod:`repro.experiments.cache` — compatibility wrapper over the
+  store (the deprecated ``ResultCache`` name).
 
 The ``run_X``/``format_X`` module functions remain as thin deprecated
 shims over the corresponding :class:`Experiment` classes.
@@ -52,6 +57,7 @@ from repro.experiments.api import (
 )
 from repro.experiments.cache import ResultCache
 from repro.experiments.config import SCALES, ExperimentScale, get_scale
+from repro.experiments.store import ResultStore
 from repro.experiments.fig1 import (
     Fig1Experiment,
     Fig1Result,
@@ -76,6 +82,11 @@ from repro.experiments.parallel import (
     SweepResult,
     SweepSpec,
     SweepStats,
+)
+from repro.experiments.pool import (
+    WorkerPool,
+    get_shared_pool,
+    shutdown_shared_pool,
 )
 from repro.experiments.quality import (
     QualityExperiment,
@@ -116,15 +127,19 @@ __all__ = [
     "experiment_names",
     "iter_experiments",
     "UnknownExperimentError",
-    # scales + engine + cache
+    # scales + engine + pool + store
     "ExperimentScale",
     "SCALES",
     "get_scale",
     "ResultCache",
+    "ResultStore",
     "SweepEngine",
     "SweepResult",
     "SweepSpec",
     "SweepStats",
+    "WorkerPool",
+    "get_shared_pool",
+    "shutdown_shared_pool",
     # experiment classes
     "Table1Experiment",
     "Fig1Experiment",

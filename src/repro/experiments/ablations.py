@@ -40,6 +40,7 @@ from repro.taskgen.synthetic import SyntheticConfig, generate_workload, \
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.experiments.parallel import SweepEngine, SweepSpec
+    from repro.experiments.pool import WorkerPool
 
 __all__ = [
     "AllocatorCell",
@@ -158,6 +159,7 @@ def solver_ablation(
     cores: int = 2,
     config: SyntheticConfig | None = None,
     engine: "SweepEngine | None" = None,
+    pool: "WorkerPool | None" = None,
 ) -> AllocatorComparison:
     """Linearised Eq. (5) vs exact RTA vs LP-refined periods.
 
@@ -165,7 +167,7 @@ def solver_ablation(
         Thin shim over ``SolverAblationExperiment``.
     """
     return SolverAblationExperiment(cores=cores, config=config).run_domain(
-        scale, engine
+        scale, engine, pool
     )
 
 
@@ -174,6 +176,7 @@ def core_choice_ablation(
     cores: int = 4,
     config: SyntheticConfig | None = None,
     engine: "SweepEngine | None" = None,
+    pool: "WorkerPool | None" = None,
 ) -> AllocatorComparison:
     """HYDRA's argmax-tightness rule vs cheaper core-selection rules.
 
@@ -181,7 +184,7 @@ def core_choice_ablation(
         Thin shim over ``CoreChoiceAblationExperiment``.
     """
     return CoreChoiceAblationExperiment(cores=cores, config=config).run_domain(
-        scale, engine
+        scale, engine, pool
     )
 
 
@@ -332,6 +335,7 @@ def partitioning_ablation(
     config: SyntheticConfig | None = None,
     heuristics: tuple[str, ...] = ("best-fit", "worst-fit", "first-fit"),
     engine: "SweepEngine | None" = None,
+    pool: "WorkerPool | None" = None,
 ) -> AllocatorComparison:
     """How the *real-time* partitioning heuristic shapes HYDRA's room.
 
@@ -348,7 +352,7 @@ def partitioning_ablation(
     """
     return PartitioningAblationExperiment(
         cores=cores, config=config, heuristics=heuristics
-    ).run_domain(scale, engine)
+    ).run_domain(scale, engine, pool)
 
 
 def _partitioning_sweep_spec(

@@ -51,6 +51,8 @@ from repro.experiments.parallel import (
 if TYPE_CHECKING:  # pragma: no cover - typing only
     import numpy as np
 
+    from repro.experiments.pool import WorkerPool
+
 __all__ = [
     "RESULT_FORMAT",
     "ExperimentSpec",
@@ -393,11 +395,12 @@ class Experiment(ABC):
         self,
         scale: ExperimentScale | None = None,
         engine: SweepEngine | None = None,
+        pool: "WorkerPool | None" = None,
     ) -> Any:
         """Run the experiment and return the *domain* result object
         (what the deprecated ``run_X`` shims hand back)."""
         scale = scale or get_scale()
-        engine = engine or SweepEngine()
+        engine = engine or SweepEngine(pool=pool)
         results = tuple(engine.run(spec) for spec in self.sweeps(scale))
         return self.aggregate_domain(RawRun(sweeps=results, scale=scale))
 
@@ -405,10 +408,18 @@ class Experiment(ABC):
         self,
         scale: ExperimentScale | None = None,
         engine: SweepEngine | None = None,
+        pool: "WorkerPool | None" = None,
     ) -> ExperimentResult:
-        """Run the experiment end to end at ``scale`` through ``engine``."""
+        """Run the experiment end to end at ``scale`` through ``engine``.
+
+        ``pool`` is a convenience for the engine-less call form: a
+        :class:`~repro.experiments.pool.WorkerPool` to fan sweeps over
+        (its creator keeps ownership — the experiment never shuts it
+        down).  Ignored when ``engine`` is given, since an engine
+        already carries its execution strategy.
+        """
         scale = scale or get_scale()
-        engine = engine or SweepEngine()
+        engine = engine or SweepEngine(pool=pool)
         results = tuple(engine.run(spec) for spec in self.sweeps(scale))
         return self.aggregate(RawRun(sweeps=results, scale=scale))
 

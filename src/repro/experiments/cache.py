@@ -1,150 +1,40 @@
-"""On-disk result cache for the sweep engine.
+"""Compatibility wrapper over the sharded result store.
 
-Monte-Carlo sweeps are pure functions of ``(experiment kind, point
-parameters, shared parameters, seed, point index)`` — every trial's
-randomness comes from a deterministic :class:`numpy.random.SeedSequence`
-stream.  That makes per-point results cacheable: re-running a sweep, or
-extending it with more utilisation points, only computes what is not on
-disk yet.
+PR 1's ``ResultCache`` wrote one JSON file per sweep point
+(``<cache_dir>/<kind>/<sha256>.json``).  That v1 layout is retired:
+the engine now persists points in the sharded, append-only column
+store of :mod:`repro.experiments.store`, which keeps the *same content
+hashing* (``cache_key`` over the canonical key payload, format
+:data:`CACHE_FORMAT`) while replacing per-point files with
+per-experiment record logs.
 
-Layout: one JSON file per point under the cache directory,
+This module remains so existing imports keep working:
 
-    <cache_dir>/<kind>/<sha256-of-key-payload>.json
+* :class:`ResultCache` is now a thin alias of
+  :class:`~repro.experiments.store.ResultStore`.  Pointing it at an
+  old v1 directory migrates the entries automatically (one-shot); the
+  keys are unchanged, so every previously cached point stays a hit.
+* :func:`cache_key` and :data:`CACHE_FORMAT` are re-exported from the
+  store module, which is their new home.
 
-holding ``{"key": <payload>, "payload": <result>}``.  The key payload
-is the canonical JSON of every input that influences the result (seed,
-point index, point dict, shared params, format version); storing it in
-the file makes entries auditable and guards against hash collisions.
-
-Entries are written atomically (tmp file + rename) so a killed sweep
-never leaves a truncated entry behind — a partial sweep is simply
-resumed on the next run.
+New code should import from :mod:`repro.experiments.store` directly.
 """
 
 from __future__ import annotations
 
-import hashlib
-import json
-import os
-import tempfile
-from pathlib import Path
-from typing import Any, Mapping
+from repro.experiments.store import (
+    CACHE_FORMAT,
+    ResultStore,
+    cache_key,
+    write_v1_entry,
+)
 
-__all__ = ["ResultCache", "cache_key"]
-
-#: Bump when the cached payload layout changes incompatibly; old
-#: entries then simply miss instead of being misread.
-CACHE_FORMAT = 1
+__all__ = ["ResultCache", "cache_key", "CACHE_FORMAT", "write_v1_entry"]
 
 
-def _canonical(payload: Mapping[str, Any]) -> str:
-    """Canonical JSON of a key payload (sorted keys, no whitespace)."""
-    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+class ResultCache(ResultStore):
+    """Deprecated alias of :class:`repro.experiments.store.ResultStore`.
 
-
-def cache_key(payload: Mapping[str, Any]) -> str:
-    """Content hash of a key payload: sha256 over its canonical JSON."""
-    return hashlib.sha256(_canonical(payload).encode()).hexdigest()
-
-
-class ResultCache:
-    """Directory-backed store of per-point sweep results.
-
-    Parameters
-    ----------
-    directory:
-        Cache root; created immediately (an unusable location fails
-        fast, before any point computes).  Safe to share between
-        experiments — entries are namespaced by experiment kind and
-        keyed by a content hash of all inputs.
+    Kept for source compatibility with PR 1/2 callers; identical
+    behaviour, including the automatic v1 migration on open.
     """
-
-    def __init__(self, directory: str | Path) -> None:
-        self.directory = Path(directory)
-        # Fail fast on an unusable location — before any sweep point
-        # has burned compute that could not be persisted.
-        self.directory.mkdir(parents=True, exist_ok=True)
-        self.hits = 0
-        self.misses = 0
-
-    # -- paths ---------------------------------------------------------
-
-    def path_for(self, kind: str, payload: Mapping[str, Any]) -> Path:
-        return self.directory / kind / f"{cache_key(payload)}.json"
-
-    # -- access --------------------------------------------------------
-
-    def get(
-        self, kind: str, key_payload: Mapping[str, Any]
-    ) -> dict[str, Any] | None:
-        """Stored result for ``key_payload``, or ``None`` on a miss.
-
-        A corrupt entry (truncated write from an old library version,
-        manual edit) counts as a miss and will be overwritten.
-        """
-        path = self.path_for(kind, key_payload)
-        try:
-            entry = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError):
-            self.misses += 1
-            return None
-        if (
-            not isinstance(entry, dict)
-            or "payload" not in entry
-            # sha256 collision or hand-edited file: recompute.
-            or entry.get("key") != json.loads(_canonical(key_payload))
-        ):
-            self.misses += 1
-            return None
-        self.hits += 1
-        return entry["payload"]
-
-    def put(
-        self,
-        kind: str,
-        key_payload: Mapping[str, Any],
-        payload: Mapping[str, Any],
-    ) -> Path:
-        """Atomically persist ``payload`` under ``key_payload``."""
-        path = self.path_for(kind, key_payload)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        entry = {
-            "key": json.loads(_canonical(key_payload)),
-            "payload": payload,
-        }
-        fd, tmp_name = tempfile.mkstemp(
-            dir=path.parent, prefix=path.stem, suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(entry, handle, sort_keys=True)
-            os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
-        return path
-
-    # -- maintenance ---------------------------------------------------
-
-    def __len__(self) -> int:
-        if not self.directory.is_dir():
-            return 0
-        return sum(1 for _ in self.directory.glob("*/*.json"))
-
-    def clear(self) -> int:
-        """Delete every cache entry; returns the number removed."""
-        removed = 0
-        if self.directory.is_dir():
-            for entry in self.directory.glob("*/*.json"):
-                entry.unlink()
-                removed += 1
-        return removed
-
-    def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return (
-            f"ResultCache({str(self.directory)!r}, entries={len(self)}, "
-            f"hits={self.hits}, misses={self.misses})"
-        )

@@ -48,6 +48,7 @@ from repro.taskgen.uav import uav_rt_tasks
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.experiments.parallel import SweepEngine, SweepSpec
+    from repro.experiments.pool import WorkerPool
 
 __all__ = [
     "Fig1SchemeResult",
@@ -309,6 +310,7 @@ def run_fig1(
     policy: str = "release-after",
     release_jitter: float = 0.0,
     engine: "SweepEngine | None" = None,
+    pool: "WorkerPool | None" = None,
 ) -> Fig1Result:
     """Run the case study at the given scale.
 
@@ -317,12 +319,13 @@ def run_fig1(
         prefer ``get_experiment("fig1").run(scale, engine)``.
 
     ``engine`` selects the execution strategy (workers, cache); the
-    default is a serial, uncached :class:`SweepEngine`.  Results are
+    default is a serial, uncached :class:`SweepEngine`, optionally
+    fanning out over an injected ``pool``.  Results are
     engine-independent.
     """
     return Fig1Experiment(
         policy=policy, release_jitter=release_jitter
-    ).run_domain(scale, engine)
+    ).run_domain(scale, engine, pool)
 
 
 def format_fig1(result: Fig1Result, grid_points: int = 12) -> str:

@@ -24,6 +24,7 @@ from repro.taskgen.synthetic import SyntheticConfig, utilization_sweep
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.experiments.parallel import SweepEngine, SweepSpec
+    from repro.experiments.pool import WorkerPool
 
 __all__ = [
     "Fig2Point",
@@ -210,6 +211,7 @@ def run_fig2(
     scale: ExperimentScale | None = None,
     config: SyntheticConfig | None = None,
     engine: "SweepEngine | None" = None,
+    pool: "WorkerPool | None" = None,
 ) -> Fig2Result:
     """Run the full Fig. 2 sweep at the given scale.
 
@@ -218,10 +220,11 @@ def run_fig2(
         prefer ``get_experiment("fig2").run(scale, engine)``.
 
     ``engine`` selects the execution strategy (workers, cache); the
-    default is a serial, uncached :class:`SweepEngine`.  Results are
+    default is a serial, uncached :class:`SweepEngine`, optionally
+    fanning out over an injected ``pool``.  Results are
     engine-independent.
     """
-    return Fig2Experiment(config=config).run_domain(scale, engine)
+    return Fig2Experiment(config=config).run_domain(scale, engine, pool)
 
 
 def format_fig2(result: Fig2Result) -> str:

@@ -26,6 +26,7 @@ from repro.taskgen.synthetic import SyntheticConfig, utilization_sweep
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.experiments.parallel import SweepEngine, SweepSpec
+    from repro.experiments.pool import WorkerPool
 
 __all__ = [
     "Fig3Point",
@@ -199,6 +200,7 @@ def run_fig3(
     search: str = "branch-bound",
     config: SyntheticConfig | None = None,
     engine: "SweepEngine | None" = None,
+    pool: "WorkerPool | None" = None,
 ) -> Fig3Result:
     """Run the Fig. 3 comparison at the given scale.
 
@@ -211,7 +213,7 @@ def run_fig3(
     ``engine`` selects the execution strategy (workers, cache).
     """
     return Fig3Experiment(search=search, config=config).run_domain(
-        scale, engine
+        scale, engine, pool
     )
 
 

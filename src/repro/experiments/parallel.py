@@ -15,19 +15,25 @@ Determinism is the design anchor:
   parallel runs produce **identical** trial sequences;
 * every point's result is a plain-JSON payload, which makes results
   byte-comparable across worker counts and cacheable on disk
-  (:class:`repro.experiments.cache.ResultCache`): re-runs and extended
+  (:class:`repro.experiments.store.ResultStore`): re-runs and extended
   sweeps only compute the points that are missing.
 
 Experiment kinds are *registered point runners* — top-level functions
 (picklable by name) taking ``(point, params, rng)`` and returning a
 JSON payload.  The figure drivers build :class:`SweepSpec` objects and
 feed them through a shared :class:`SweepEngine`.
+
+The engine owns neither executors nor storage: parallel points fan out
+over a reusable :class:`~repro.experiments.pool.WorkerPool` (by
+default the process-wide shared pool, spawned lazily once and reused
+across every sweep of a CLI invocation or pytest session), and cached
+points are read/written in batches through the sharded
+:class:`~repro.experiments.store.ResultStore`.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from itertools import repeat
 from typing import Any, Callable, Mapping, Sequence
@@ -35,8 +41,9 @@ from typing import Any, Callable, Mapping, Sequence
 import numpy as np
 
 from repro.errors import ValidationError
-from repro.experiments.cache import CACHE_FORMAT, ResultCache
+from repro.experiments.pool import WorkerPool, get_shared_pool
 from repro.experiments.runner import TrialOutcome, run_acceptance_trial
+from repro.experiments.store import CACHE_FORMAT, ResultStore
 from repro.io import allocation_from_dict, allocation_to_dict
 from repro.model.platform import Platform
 from repro.taskgen.synthetic import SyntheticConfig
@@ -297,6 +304,23 @@ def _execute_point_job(spec_dict: dict[str, Any], index: int) -> dict[str, Any]:
 # -- built-in point runners --------------------------------------------------
 
 
+@register_point_runner("calibration")
+def run_calibration_point(
+    point: Mapping[str, Any],
+    params: Mapping[str, Any],
+    rng: np.random.Generator,
+) -> dict[str, Any]:
+    """A near-zero-cost point: a single draw from the point's stream.
+
+    Exists so the engine's own dispatch costs — pool fan-out, cache
+    round-trips — can be measured and regression-gated with the actual
+    mathematics factored out (see ``benchmarks/test_bench_parallel.py``
+    and ``tools/check_bench.py``).  Deterministic like any other
+    runner: the draw comes from the point's SeedSequence stream.
+    """
+    return {"point": dict(point), "value": float(rng.random())}
+
+
 @register_point_runner("acceptance")
 def run_acceptance_point(
     point: Mapping[str, Any],
@@ -537,39 +561,67 @@ class SweepResult:
 
 
 class SweepEngine:
-    """Runs :class:`SweepSpec` sweeps — serially or over a process pool,
-    optionally backed by an on-disk :class:`ResultCache`.
+    """Runs :class:`SweepSpec` sweeps — serially or over a worker pool,
+    optionally backed by an on-disk :class:`ResultStore`.
+
+    The engine does not own an executor: parallel points go through a
+    :class:`~repro.experiments.pool.WorkerPool` that outlives any one
+    sweep.  Pass one explicitly to control its lifetime; otherwise a
+    ``workers > 1`` engine lazily attaches to the process-wide shared
+    pool (:func:`~repro.experiments.pool.get_shared_pool`), so chained
+    sweeps — all panels of ``repro-hydra all``, a whole pytest session
+    — fan out over the *same* processes instead of re-forking per
+    sweep.
 
     Parameters
     ----------
     workers:
         ``None``/``0``/``1`` → serial in-process execution; ``n > 1`` →
-        a :class:`ProcessPoolExecutor` with ``n`` workers, one
-        utilisation point per task.  Results are identical either way
-        (per-point SeedSequence streams).
+        fan points over ``n`` pooled workers.  Results are identical
+        either way (per-point SeedSequence streams).
     cache:
-        A :class:`ResultCache`, a directory path, or ``None`` to
-        disable caching.
+        A :class:`ResultStore` (or the deprecated ``ResultCache``
+        alias), a directory path, or ``None`` to disable caching.
+        Paths open a sharded v2 store, migrating any v1 entries found
+        there.  Lookups and writes are batched per sweep
+        (``get_many``/``put_many``).
     on_point_computed:
         Optional hook called (in the parent process) with the point
         index after each point is *computed* — cache hits do not fire
         it.  The determinism tests use it to prove warm runs recompute
         nothing.
+    pool:
+        A :class:`~repro.experiments.pool.WorkerPool` to fan out over.
+        The engine never shuts it down — the creator owns its
+        lifecycle.  When given, it also defaults ``workers`` to the
+        pool's size.
     """
 
     def __init__(
         self,
         workers: int | None = None,
-        cache: ResultCache | str | None = None,
+        cache: ResultStore | str | None = None,
         on_point_computed: Callable[[int], None] | None = None,
+        pool: WorkerPool | None = None,
     ) -> None:
         if workers is not None and workers < 0:
             raise ValidationError(f"workers must be >= 0, got {workers}")
-        self.workers = max(1, int(workers or 1))
-        if cache is not None and not isinstance(cache, ResultCache):
-            cache = ResultCache(cache)
+        if workers is None and pool is not None:
+            self.workers = pool.max_workers
+        else:
+            self.workers = max(1, int(workers or 1))
+        if cache is not None and not isinstance(cache, ResultStore):
+            cache = ResultStore(cache)
         self.cache = cache
         self.on_point_computed = on_point_computed
+        self._injected_pool = pool
+        self._attached_pool: WorkerPool | None = None
+
+    @property
+    def pool(self) -> WorkerPool | None:
+        """The pool this engine fans out over (``None`` until a
+        parallel engine first needs one)."""
+        return self._injected_pool or self._attached_pool
 
     def run(self, spec: SweepSpec) -> SweepResult:
         """Execute ``spec``, returning per-point payloads in order."""
@@ -577,24 +629,32 @@ class SweepEngine:
         payloads: list[Mapping[str, Any] | None] = [None] * len(spec.points)
 
         missing: list[int] = []
-        for index in range(len(spec.points)):
-            cached = (
-                self.cache.get(spec.kind, spec.key_payload(index))
-                if self.cache is not None
-                else None
-            )
-            if cached is not None:
-                payloads[index] = cached
-                stats.cached_points += 1
-            else:
-                missing.append(index)
+        key_payloads: list[dict[str, Any]] = []
+        if self.cache is not None:
+            key_payloads = [
+                spec.key_payload(index) for index in range(len(spec.points))
+            ]
+            for index, cached in enumerate(
+                self.cache.get_many(spec.kind, key_payloads)
+            ):
+                if cached is not None:
+                    payloads[index] = cached
+                    stats.cached_points += 1
+                else:
+                    missing.append(index)
+        else:
+            missing = list(range(len(spec.points)))
 
         if missing:
-            for index, payload in self._compute(spec, missing):
+            computed = self._compute(spec, missing)
+            if self.cache is not None:
+                self.cache.put_many(
+                    spec.kind,
+                    [(key_payloads[i], payload) for i, payload in computed],
+                )
+            for index, payload in computed:
                 payloads[index] = payload
                 stats.computed_points += 1
-                if self.cache is not None:
-                    self.cache.put(spec.kind, spec.key_payload(index), payload)
                 if self.on_point_computed is not None:
                     self.on_point_computed(index)
 
@@ -607,14 +667,35 @@ class SweepEngine:
     def _compute(
         self, spec: SweepSpec, indices: Sequence[int]
     ) -> list[tuple[int, dict[str, Any]]]:
-        if self.workers == 1 or len(indices) == 1:
+        pool = self._resolve_pool(len(indices))
+        if pool is None:
             return [(i, execute_point(spec, i)) for i in indices]
         spec_dict = spec.to_dict()
-        workers = min(self.workers, len(indices))
-        # Chunk by utilisation point: chunksize 1 keeps the pool busy
-        # even though per-point cost grows steeply with utilisation.
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            computed = list(
-                pool.map(_execute_point_job, repeat(spec_dict), indices)
-            )
+        # One utilisation point per task keeps the pool busy even
+        # though per-point cost grows steeply with utilisation; the
+        # limit keeps a wider shared pool to this engine's requested
+        # parallelism.
+        computed = pool.map(
+            _execute_point_job, repeat(spec_dict), indices,
+            limit=self.workers,
+        )
         return list(zip(indices, computed))
+
+    def _resolve_pool(self, pending: int) -> WorkerPool | None:
+        """The pool to fan ``pending`` points over (``None`` → serial).
+
+        An injected pool is used as-is (its own size 1 already means
+        serial).  A pool-less parallel engine asks for the *current*
+        shared pool on every compute — deliberately not cached, so a
+        shared pool that was grown or shut down between sweeps is never
+        revived as an orphan — which means merely *constructing*
+        engines never touches process machinery.
+        """
+        if pending == 1:
+            return None
+        pool = self._injected_pool
+        if pool is None and self.workers > 1:
+            pool = self._attached_pool = get_shared_pool(self.workers)
+        if pool is None or pool.max_workers == 1:
+            return None
+        return pool

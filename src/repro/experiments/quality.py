@@ -27,6 +27,7 @@ from repro.taskgen.synthetic import SyntheticConfig, utilization_sweep
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.experiments.parallel import SweepEngine, SweepSpec
+    from repro.experiments.pool import WorkerPool
 
 __all__ = [
     "QualityPoint",
@@ -205,6 +206,7 @@ def run_quality(
     cores: int = 8,
     config: SyntheticConfig | None = None,
     engine: "SweepEngine | None" = None,
+    pool: "WorkerPool | None" = None,
 ) -> QualityResult:
     """Run the tightness-quality sweep on a ``cores``-core platform.
 
@@ -216,7 +218,7 @@ def run_quality(
     sweep shares the ``acceptance`` cache namespace with Fig. 2.
     """
     return QualityExperiment(cores=cores, config=config).run_domain(
-        scale, engine
+        scale, engine, pool
     )
 
 

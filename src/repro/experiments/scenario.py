@@ -26,6 +26,13 @@ cell is labelled ``heuristic/ordering/admission`` and reported as a
 HYDRA acceptance + mean-tightness comparison per core count.  Every
 combination evaluates the *same* generated task sets at each
 utilisation point, so cells are directly comparable.
+
+Scenario sweeps ride the same execution/storage layer as the paper
+figures: chained ``sweep --config`` runs in one CLI invocation reuse
+the shared persistent :class:`~repro.experiments.pool.WorkerPool`
+(one fork total), and ``--cache-dir`` shards land in the same
+:class:`~repro.experiments.store.ResultStore`, so a grid can be
+extended axis by axis with only the new cells computing.
 """
 
 from __future__ import annotations

@@ -1,0 +1,625 @@
+"""Sharded, append-only columnar result store (cache format v2).
+
+The v1 :class:`~repro.experiments.cache.ResultCache` wrote **one JSON
+file per sweep point**.  That is perfectly auditable but falls over at
+paper scale: a 10⁴–10⁵-point design-space sweep turns every warm run
+into 10⁵ ``open``/``stat`` calls and directory scans start dominating
+the actual maths.  This store keeps the same *keys* (the engine's
+:meth:`~repro.experiments.parallel.SweepSpec.key_payload` hashed by
+:func:`cache_key` — entries are content-addressed exactly as before)
+but packs the *values* into per-experiment shards::
+
+    <root>/store.json              # format marker ({"format": 2})
+    <root>/<kind>/data.jsonl       # append-only record log
+    <root>/<kind>/index.jsonl      # append-only hash → (offset, length)
+
+Each ``data.jsonl`` record is the canonical JSON
+``{"key": <key payload>, "payload": <result>}`` on one line — the
+stored key keeps entries auditable and guards against hash collisions,
+exactly like v1.  ``index.jsonl`` holds one compact line per record
+(``{"h": sha256, "o": offset, "n": length}``); loading a shard reads
+only the index, and :meth:`ResultStore.get_many` then serves any
+subset of a sweep with one file handle and ``seek``/``read`` pairs.
+
+Crash safety comes from append ordering rather than atomic renames: a
+record's index line is written only after its data line, so a killed
+run can leave at most a torn *trailing* line in either file — torn
+data is unreferenced, torn index lines are skipped on load, and a
+missing or stale index is rebuilt by scanning the data log.  The store
+assumes a single writer per root (the sweep engine writes from the
+parent process only); readers are unrestricted.
+
+Migration from v1 is automatic and one-shot: opening a root that has
+no format marker ingests any ``<kind>/<sha256>.json`` entries into the
+shards, deletes the v1 files, and writes the marker so the scan never
+runs again.  ``repro-hydra cache stats|migrate|gc`` exposes the same
+machinery on the command line.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.errors import CacheError, ValidationError
+
+__all__ = [
+    "CACHE_FORMAT",
+    "STORE_FORMAT",
+    "ResultStore",
+    "cache_key",
+    "write_v1_entry",
+]
+
+#: Key-payload format version (part of every key payload).  Unchanged
+#: from v1 — the *storage layout* changed, the keys did not, which is
+#: what makes v1 entries migratable and golden runs byte-identical.
+CACHE_FORMAT = 1
+
+#: On-disk layout version of this module (the v1 layout never wrote a
+#: marker, so its absence is what triggers migration).
+STORE_FORMAT = 2
+
+_MARKER_NAME = "store.json"
+_DATA_NAME = "data.jsonl"
+_INDEX_NAME = "index.jsonl"
+
+#: v1 entry filenames were ``<sha256 hex>.json``.
+_V1_STEM_LEN = 64
+_HEX_DIGITS = set("0123456789abcdef")
+
+
+def _canonical(payload: Any) -> str:
+    """Canonical JSON (sorted keys, no whitespace)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def cache_key(payload: Mapping[str, Any]) -> str:
+    """Content hash of a key payload: sha256 over its canonical JSON."""
+    return hashlib.sha256(_canonical(payload).encode()).hexdigest()
+
+
+def _is_v1_entry(path: Path) -> bool:
+    stem = path.stem
+    return (
+        path.suffix == ".json"
+        and len(stem) == _V1_STEM_LEN
+        and set(stem) <= _HEX_DIGITS
+    )
+
+
+class _Shard:
+    """One experiment kind's record log plus its in-memory index."""
+
+    def __init__(self, directory: Path, readonly: bool = False) -> None:
+        self.directory = directory
+        self.readonly = readonly
+        self.data_path = directory / _DATA_NAME
+        self.index_path = directory / _INDEX_NAME
+        self._index: dict[str, tuple[int, int]] | None = None
+
+    # -- index ---------------------------------------------------------
+
+    @property
+    def index(self) -> dict[str, tuple[int, int]]:
+        if self._index is None:
+            self._index = self._load_index()
+        return self._index
+
+    def _data_size(self) -> int:
+        try:
+            return self.data_path.stat().st_size
+        except OSError:
+            return 0
+
+    def _load_index(self) -> dict[str, tuple[int, int]]:
+        data_size = self._data_size()
+        if data_size == 0:
+            return {}
+        if not self.index_path.exists():
+            return self._rebuild_index()
+        index: dict[str, tuple[int, int]] = {}
+        damaged = False
+        try:
+            lines = self.index_path.read_bytes().splitlines()
+        except OSError:
+            return self._rebuild_index()
+        for line in lines:
+            try:
+                entry = json.loads(line)
+                digest = entry["h"]
+                offset, length = int(entry["o"]), int(entry["n"])
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                # Torn trailing line from a killed run: the record it
+                # pointed at (if complete) is recovered by a rebuild.
+                damaged = True
+                continue
+            if offset < 0 or length <= 0 or offset + length > data_size:
+                damaged = True
+                continue
+            index[digest] = (offset, length)
+        # The index must also *cover* the data log: a crash between a
+        # batch's data flush and its index append leaves well-formed
+        # index lines that simply stop short, and the orphaned records
+        # would otherwise be invisible (and gc would drop them).  The
+        # +1 accounts for each record's trailing newline.
+        covered = max(
+            (offset + length + 1 for offset, length in index.values()),
+            default=0,
+        )
+        if damaged or covered < data_size:
+            return self._rebuild_index()
+        return index
+
+    def _rebuild_index(self) -> dict[str, tuple[int, int]]:
+        """Re-derive the index by scanning the data log (recovers from
+        a lost, torn, or stale ``index.jsonl``)."""
+        index: dict[str, tuple[int, int]] = {}
+        if not self.data_path.exists():
+            return index
+        offset = 0
+        with self.data_path.open("rb") as handle:
+            for line in handle:
+                length = len(line)
+                record_len = len(line.rstrip(b"\n"))
+                if line.endswith(b"\n") and record_len > 0:
+                    try:
+                        record = json.loads(line)
+                        index[cache_key(record["key"])] = (
+                            offset, record_len,
+                        )
+                    except (json.JSONDecodeError, KeyError, TypeError):
+                        pass  # torn or foreign line: unreferenced
+                offset += length
+        if not self.readonly:
+            self._write_index(index)
+        return index
+
+    def _write_index(self, index: Mapping[str, tuple[int, int]]) -> None:
+        tmp = self.index_path.with_suffix(".jsonl.tmp")
+        with tmp.open("w") as handle:
+            for digest, (offset, length) in index.items():
+                handle.write(
+                    _canonical({"h": digest, "o": offset, "n": length})
+                    + "\n"
+                )
+        os.replace(tmp, self.index_path)
+
+    # -- access ----------------------------------------------------------
+
+    def get_many(
+        self, requests: Sequence[tuple[str, Mapping[str, Any]]]
+    ) -> list[dict[str, Any] | None]:
+        """Payloads for ``(digest, key_payload)`` requests (``None`` per
+        miss).  One file handle serves the whole batch."""
+        results: list[dict[str, Any] | None] = [None] * len(requests)
+        index = self.index
+        located = [
+            (i, digest, key_payload, index[digest])
+            for i, (digest, key_payload) in enumerate(requests)
+            if digest in index
+        ]
+        if not located:
+            return results
+        with self.data_path.open("rb") as handle:
+            # Read in offset order: sequential I/O even when the sweep
+            # interleaves cached and missing points.
+            for i, digest, key_payload, (offset, length) in sorted(
+                located, key=lambda item: item[3]
+            ):
+                handle.seek(offset)
+                raw = handle.read(length)
+                try:
+                    record = json.loads(raw)
+                except json.JSONDecodeError:
+                    continue  # corrupt region: a miss, recomputed
+                if (
+                    not isinstance(record, dict)
+                    or "payload" not in record
+                    # sha256 collision or hand-edited log: recompute.
+                    or record.get("key") != json.loads(
+                        _canonical(key_payload)
+                    )
+                ):
+                    continue
+                results[i] = record["payload"]
+        return results
+
+    def append_many(
+        self,
+        entries: Sequence[tuple[str, Mapping[str, Any], Mapping[str, Any]]],
+    ) -> None:
+        """Append ``(digest, key_payload, payload)`` records.  Data
+        lines land (and are flushed) before their index lines, so a
+        crash never leaves the index pointing at torn data."""
+        if not entries:
+            return
+        self.directory.mkdir(parents=True, exist_ok=True)
+        index = self.index
+        positions: list[tuple[str, int, int]] = []
+        repair = b""
+        if self._data_size() > 0:
+            # A torn tail (killed mid-write) must not concatenate with
+            # the next record into one unparsable line — terminate it
+            # so the line-based index rebuild keeps both readable.
+            with self.data_path.open("rb") as handle:
+                handle.seek(-1, os.SEEK_END)
+                if handle.read(1) != b"\n":
+                    repair = b"\n"
+        with self.data_path.open("ab") as handle:
+            if repair:
+                handle.write(repair)
+            for digest, key_payload, payload in entries:
+                line = _canonical(
+                    {
+                        "key": json.loads(_canonical(key_payload)),
+                        "payload": payload,
+                    }
+                ).encode() + b"\n"
+                offset = handle.tell()
+                handle.write(line)
+                positions.append((digest, offset, len(line) - 1))
+            handle.flush()
+        with self.index_path.open("ab") as handle:
+            for digest, offset, length in positions:
+                handle.write(
+                    _canonical({"h": digest, "o": offset, "n": length})
+                    .encode() + b"\n"
+                )
+                index[digest] = (offset, length)
+
+    # -- maintenance -------------------------------------------------------
+
+    def compact(self) -> dict[str, int]:
+        """Rewrite the log keeping only the live (indexed) records:
+        drops superseded duplicates and torn tails.  Returns counts."""
+        index = self.index
+        old_bytes = self._data_size() + (
+            self.index_path.stat().st_size
+            if self.index_path.exists() else 0
+        )
+        records: list[tuple[str, bytes]] = []
+        with self.data_path.open("rb") as handle:
+            for digest, (offset, length) in index.items():
+                handle.seek(offset)
+                raw = handle.read(length)
+                try:
+                    json.loads(raw)
+                except json.JSONDecodeError:
+                    continue
+                records.append((digest, raw))
+        tmp = self.data_path.with_suffix(".jsonl.tmp")
+        new_index: dict[str, tuple[int, int]] = {}
+        offset = 0
+        with tmp.open("wb") as handle:
+            for digest, raw in records:
+                handle.write(raw + b"\n")
+                new_index[digest] = (offset, len(raw))
+                offset += len(raw) + 1
+        os.replace(tmp, self.data_path)
+        self._write_index(new_index)
+        self._index = new_index
+        new_bytes = self._data_size() + self.index_path.stat().st_size
+        return {
+            "entries": len(new_index),
+            "reclaimed_bytes": max(0, old_bytes - new_bytes),
+        }
+
+    def clear(self) -> int:
+        removed = len(self.index)
+        for path in (self.data_path, self.index_path):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        self._index = {}
+        return removed
+
+
+class ResultStore:
+    """Directory-backed, sharded store of per-point sweep results.
+
+    Drop-in successor of the v1 ``ResultCache``: same constructor, same
+    ``get``/``put``/``hits``/``misses``/``clear`` surface, same content
+    hashing — plus the batched :meth:`get_many`/:meth:`put_many` the
+    engine uses and the :meth:`migrate`/:meth:`gc`/:meth:`stats`
+    maintenance verbs behind ``repro-hydra cache``.
+
+    Parameters
+    ----------
+    directory:
+        Store root; created immediately.  An unusable location raises
+        :class:`repro.errors.CacheError` before any point computes.
+    migrate:
+        Ingest a pre-existing v1 layout on open (default).  Pass
+        ``False`` to open without triggering the one-shot migration.
+    readonly:
+        Open for inspection only (``cache stats`` does): nothing is
+        created or written — no root mkdir, no migration, no index
+        rebuild persisting, and writes raise :class:`CacheError`.  A
+        missing root reads as an empty store.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        *,
+        migrate: bool = True,
+        readonly: bool = False,
+    ) -> None:
+        self.directory = Path(directory)
+        self.readonly = readonly
+        if not readonly:
+            try:
+                self.directory.mkdir(parents=True, exist_ok=True)
+            except OSError as exc:
+                raise CacheError(
+                    f"cache root {str(self.directory)!r} is unusable: {exc}"
+                ) from exc
+        self.hits = 0
+        self.misses = 0
+        self._shards: dict[str, _Shard] = {}
+        self._check_marker()
+        if migrate and not readonly and not self._marker_path.exists():
+            self.migrate()
+
+    # -- format marker ---------------------------------------------------
+
+    @property
+    def _marker_path(self) -> Path:
+        return self.directory / _MARKER_NAME
+
+    def _check_marker(self) -> None:
+        if not self._marker_path.exists():
+            return
+        try:
+            marker = json.loads(self._marker_path.read_text())
+            fmt = int(marker["format"])
+        except (OSError, json.JSONDecodeError, KeyError, TypeError,
+                ValueError) as exc:
+            raise CacheError(
+                f"{self._marker_path} is not a valid store marker: {exc}"
+            ) from None
+        if fmt != STORE_FORMAT:
+            raise CacheError(
+                f"{self.directory} holds store format {fmt}; this build "
+                f"reads format {STORE_FORMAT}"
+            )
+
+    def _write_marker(self) -> None:
+        try:
+            self._marker_path.write_text(
+                json.dumps({"format": STORE_FORMAT}) + "\n"
+            )
+        except OSError as exc:
+            raise CacheError(
+                f"cache root {str(self.directory)!r} is unusable: {exc}"
+            ) from exc
+
+    # -- shards ----------------------------------------------------------
+
+    def _shard(self, kind: str) -> _Shard:
+        if kind not in self._shards:
+            if not kind or "/" in kind or kind.startswith("."):
+                raise ValidationError(f"invalid experiment kind {kind!r}")
+            self._shards[kind] = _Shard(
+                self.directory / kind, readonly=self.readonly
+            )
+        return self._shards[kind]
+
+    def _require_writable(self, action: str) -> None:
+        if self.readonly:
+            raise CacheError(
+                f"store {str(self.directory)!r} was opened read-only; "
+                f"cannot {action}"
+            )
+
+    def _shard_kinds(self) -> list[str]:
+        kinds = set(self._shards)
+        if self.directory.is_dir():
+            for child in self.directory.iterdir():
+                if child.is_dir() and (child / _DATA_NAME).exists():
+                    kinds.add(child.name)
+        return sorted(kinds)
+
+    # -- access ------------------------------------------------------------
+
+    def get(
+        self, kind: str, key_payload: Mapping[str, Any]
+    ) -> dict[str, Any] | None:
+        """Stored result for ``key_payload``, or ``None`` on a miss."""
+        return self.get_many(kind, [key_payload])[0]
+
+    def get_many(
+        self, kind: str, key_payloads: Sequence[Mapping[str, Any]]
+    ) -> list[dict[str, Any] | None]:
+        """Batched :meth:`get`: one result (or ``None``) per key, in
+        order, served from a single pass over the shard."""
+        if not key_payloads:
+            return []
+        shard = self._shard(kind)
+        if not shard.data_path.exists():
+            self.misses += len(key_payloads)
+            return [None] * len(key_payloads)
+        results = shard.get_many(
+            [(cache_key(k), k) for k in key_payloads]
+        )
+        found = sum(1 for r in results if r is not None)
+        self.hits += found
+        self.misses += len(results) - found
+        return results
+
+    def put(
+        self,
+        kind: str,
+        key_payload: Mapping[str, Any],
+        payload: Mapping[str, Any],
+    ) -> None:
+        """Persist one ``payload`` under ``key_payload``."""
+        self.put_many(kind, [(key_payload, payload)])
+
+    def put_many(
+        self,
+        kind: str,
+        entries: Iterable[
+            tuple[Mapping[str, Any], Mapping[str, Any]]
+        ],
+    ) -> int:
+        """Batched :meth:`put`; returns the number of records written.
+        The whole batch is appended through one file handle."""
+        batch = [
+            (cache_key(key_payload), key_payload, payload)
+            for key_payload, payload in entries
+        ]
+        if not batch:
+            return 0
+        self._require_writable("write entries")
+        try:
+            self._shard(kind).append_many(batch)
+        except OSError as exc:
+            raise CacheError(
+                f"cannot write to cache shard "
+                f"{str(self.directory / kind)!r}: {exc}"
+            ) from exc
+        return len(batch)
+
+    # -- migration -----------------------------------------------------------
+
+    def _v1_entries(self) -> list[Path]:
+        if not self.directory.is_dir():
+            return []
+        return [
+            path
+            for child in sorted(self.directory.iterdir())
+            if child.is_dir()
+            for path in sorted(child.glob("*.json"))
+            if _is_v1_entry(path)
+        ]
+
+    def pending_v1_entries(self) -> int:
+        """How many v1 JSON-per-point files await migration."""
+        return len(self._v1_entries())
+
+    def migrate(self) -> int:
+        """Ingest every v1 entry into the shards, delete the v1 files,
+        and stamp the format marker.  Idempotent; returns the number of
+        entries migrated."""
+        self._require_writable("migrate")
+        migrated = 0
+        by_kind: dict[str, list[tuple[Mapping, Mapping]]] = {}
+        ingested: list[Path] = []
+        for path in self._v1_entries():
+            try:
+                entry = json.loads(path.read_text())
+                key_payload, payload = entry["key"], entry["payload"]
+            except (OSError, json.JSONDecodeError, KeyError, TypeError):
+                continue  # corrupt v1 entry: was a miss then, is now
+            if not isinstance(key_payload, Mapping):
+                continue
+            by_kind.setdefault(path.parent.name, []).append(
+                (key_payload, payload)
+            )
+            ingested.append(path)
+        for kind, entries in by_kind.items():
+            migrated += self.put_many(kind, entries)
+        for path in ingested:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        self._write_marker()
+        return migrated
+
+    # -- maintenance -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(
+            len(self._shard(kind).index) for kind in self._shard_kinds()
+        )
+
+    def clear(self) -> int:
+        """Delete every stored record; returns the number removed."""
+        self._require_writable("clear")
+        return sum(
+            self._shard(kind).clear() for kind in self._shard_kinds()
+        )
+
+    def gc(self) -> dict[str, Any]:
+        """Compact every shard: drop superseded duplicates, torn tails,
+        and leftover empty shard directories.  Returns a summary."""
+        self._require_writable("gc")
+        shards: dict[str, dict[str, int]] = {}
+        reclaimed = 0
+        for kind in self._shard_kinds():
+            shard = self._shard(kind)
+            if not shard.index:
+                shard.clear()
+                try:
+                    shard.directory.rmdir()
+                except OSError:
+                    pass
+                continue
+            summary = shard.compact()
+            shards[kind] = summary
+            reclaimed += summary["reclaimed_bytes"]
+        return {
+            "shards": shards,
+            "entries": sum(s["entries"] for s in shards.values()),
+            "reclaimed_bytes": reclaimed,
+        }
+
+    def stats(self) -> dict[str, Any]:
+        """Shape and size of the store (``repro-hydra cache stats``)."""
+        shards = {}
+        for kind in self._shard_kinds():
+            shard = self._shard(kind)
+            shards[kind] = {
+                "entries": len(shard.index),
+                "data_bytes": shard._data_size(),
+            }
+        return {
+            "directory": str(self.directory),
+            "format": STORE_FORMAT,
+            "migrated": self._marker_path.exists(),
+            "entries": sum(s["entries"] for s in shards.values()),
+            "data_bytes": sum(s["data_bytes"] for s in shards.values()),
+            "pending_v1_entries": self.pending_v1_entries(),
+            "shards": shards,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ResultStore({str(self.directory)!r}, entries={len(self)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )
+
+
+# -- v1 compatibility ---------------------------------------------------------
+
+
+def write_v1_entry(
+    directory: str | Path,
+    kind: str,
+    key_payload: Mapping[str, Any],
+    payload: Mapping[str, Any],
+) -> Path:
+    """Write one entry in the v1 JSON-per-point layout.
+
+    Kept (in this module, not behind the deprecated wrapper) so the
+    migration tests and CI fixtures can fabricate genuine v1 cache
+    directories without resurrecting the old implementation.
+    """
+    root = Path(directory) / kind
+    root.mkdir(parents=True, exist_ok=True)
+    path = root / f"{cache_key(key_payload)}.json"
+    entry = {
+        "key": json.loads(_canonical(key_payload)),
+        "payload": payload,
+    }
+    tmp = path.with_suffix(".json.tmp")
+    tmp.write_text(json.dumps(entry, sort_keys=True))
+    os.replace(tmp, path)
+    return path

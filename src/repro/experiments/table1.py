@@ -25,6 +25,7 @@ from repro.experiments.reporting import format_table
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.experiments.config import ExperimentScale
     from repro.experiments.parallel import SweepEngine, SweepSpec
+    from repro.experiments.pool import WorkerPool
 
 __all__ = [
     "Table1Row",
@@ -164,7 +165,9 @@ class Table1Experiment(Experiment):
 
 
 def run_table1(
-    cores: int = 2, engine: "SweepEngine | None" = None
+    cores: int = 2,
+    engine: "SweepEngine | None" = None,
+    pool: "WorkerPool | None" = None,
 ) -> list[Table1Row]:
     """Build the extended Table I on a ``cores``-core UAV platform.
 
@@ -172,7 +175,7 @@ def run_table1(
         Thin shim over ``Table1Experiment`` kept for downstream
         callers; prefer ``get_experiment("table1").run(engine=engine)``.
     """
-    return Table1Experiment(cores=cores).run_domain(engine=engine)
+    return Table1Experiment(cores=cores).run_domain(engine=engine, pool=pool)
 
 
 def format_table1(rows: list[Table1Row], cores: int = 2) -> str:

@@ -21,6 +21,8 @@ import pytest
 from repro.experiments.cache import ResultCache
 from repro.experiments.golden import golden_fixtures, golden_summary
 from repro.experiments.parallel import SweepEngine
+from repro.experiments.pool import WorkerPool
+from repro.experiments.store import ResultStore, write_v1_entry
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
 
@@ -58,6 +60,37 @@ def test_cached_rerun_reproduces_fixture(tmp_path):
     )
     assert golden_summary(name, warm_engine) == _fixture(name)
     assert computed == []  # second run came entirely from the cache
+
+
+def test_shared_persistent_pool_reproduces_fixture():
+    """One injected pool across several fixtures: reuse (a single
+    spawn) must not disturb a single byte."""
+    with WorkerPool(2) as pool:
+        engine = SweepEngine(pool=pool)
+        for name in _NAMES:
+            assert golden_summary(name, engine) == _fixture(name)
+        # fig2/fig3 minis are multi-point, so the pool really was used —
+        # and exactly one spawn served every fixture.
+        assert pool.spawn_count == 1
+
+
+def test_v1_migrated_cache_reproduces_fixture(tmp_path):
+    """A PR-1-era JSON-per-point cache directory, migrated on open,
+    must serve a warm run byte-identically with zero recomputes."""
+    name = "fig2_mini"
+    spec = golden_fixtures()[name].build_spec()
+    cold = SweepEngine().run(spec)
+    for index, payload in enumerate(cold.payloads):
+        write_v1_entry(
+            tmp_path, spec.kind, spec.key_payload(index), payload
+        )
+
+    store = ResultStore(tmp_path)  # one-shot migration happens here
+    assert store.pending_v1_entries() == 0
+    computed: list[int] = []
+    engine = SweepEngine(cache=store, on_point_computed=computed.append)
+    assert golden_summary(name, engine) == _fixture(name)
+    assert computed == []  # every point came from the migrated store
 
 
 def test_fixture_files_match_registry():

@@ -14,6 +14,7 @@ import pytest
 
 from repro.errors import ValidationError
 from repro.experiments.cache import ResultCache, cache_key
+from repro.experiments.store import ResultStore
 from repro.experiments.config import SCALES
 from repro.experiments.fig2 import fig2_sweep_spec, run_fig2
 from repro.experiments.parallel import (
@@ -137,12 +138,14 @@ class TestCache:
         ids=["invalid-json", "array", "null", "no-payload", "empty"],
     )
     def test_corrupt_entry_is_a_miss(self, tmp_path, corruption):
+        """Scribbling over the shard's record log downgrades the entry
+        to a miss (recomputed), never to a wrong payload."""
         spec = _mini_spec(points=1)
         cache = ResultCache(tmp_path)
         engine = SweepEngine(cache=cache)
         engine.run(spec)
-        entry = cache.path_for(spec.kind, spec.key_payload(0))
-        entry.write_text(corruption)
+        data = tmp_path / spec.kind / "data.jsonl"
+        data.write_text(corruption)
         rerun = SweepEngine(cache=ResultCache(tmp_path)).run(spec)
         assert rerun.stats.computed_points == 1
 
@@ -230,7 +233,11 @@ class TestEngineConfig:
 
     def test_cache_path_coerced(self, tmp_path):
         engine = SweepEngine(cache=str(tmp_path / "c"))
-        assert isinstance(engine.cache, ResultCache)
+        assert isinstance(engine.cache, ResultStore)
+
+    def test_legacy_cache_instance_accepted(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert SweepEngine(cache=cache).cache is cache
 
 
 class TestFig1Degenerate:

@@ -202,6 +202,106 @@ class TestSweepCommand:
         assert "cannot read" in capsys.readouterr().err
 
 
+class TestCacheCommand:
+    def _fill_v1(self, directory, n=2):
+        from repro.experiments.store import write_v1_entry
+
+        for i in range(n):
+            write_v1_entry(
+                directory, "demo",
+                {"format": 1, "kind": "demo", "index": i},
+                {"value": i},
+            )
+
+    def test_stats_on_fresh_store(self, tmp_path, capsys):
+        assert main(
+            ["cache", "stats", "--cache-dir", str(tmp_path / "c")]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "0 entries" in out
+
+    def test_stats_reports_pending_v1_without_migrating(
+        self, tmp_path, capsys
+    ):
+        self._fill_v1(tmp_path)
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "2 v1 entries pending migration" in out
+        assert not (tmp_path / "store.json").exists()  # stats is read-only
+
+    def test_migrate_ingests_v1(self, tmp_path, capsys):
+        self._fill_v1(tmp_path, 3)
+        assert main(["cache", "migrate", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "migrated 3 v1 entries" in out
+        assert (tmp_path / "store.json").exists()
+        assert main(["cache", "migrate", "--cache-dir", str(tmp_path)]) == 0
+        assert "migrated 0" in capsys.readouterr().out
+
+    def test_gc_reports_summary(self, tmp_path, capsys):
+        from repro.experiments.store import ResultStore
+
+        store = ResultStore(tmp_path)
+        for _ in range(3):
+            store.put("demo", {"k": 1}, {"v": 2})
+        assert main(["cache", "gc", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "1 live entries" in out
+        assert "bytes reclaimed" in out
+
+    def test_stats_never_creates_the_directory(self, tmp_path, capsys):
+        target = tmp_path / "typoed-cahce"
+        assert main(["cache", "stats", "--cache-dir", str(target)]) == 0
+        capsys.readouterr()
+        assert not target.exists()  # read-only even on a missing root
+
+    def test_mutating_verbs_refuse_a_missing_directory(
+        self, tmp_path, capsys
+    ):
+        """A typoed --cache-dir must error, not report success on a
+        silently created empty store."""
+        target = tmp_path / "typoed-cahce"
+        for action in ("migrate", "gc"):
+            with pytest.raises(SystemExit):
+                main(["cache", action, "--cache-dir", str(target)])
+            assert "no cache directory" in capsys.readouterr().err
+            assert not target.exists()
+
+    def test_rejects_unknown_action(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache", "prune"])
+
+    def test_cached_run_writes_v2_store(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        assert main(
+            ["fig2", "--scale", "smoke", "--cache-dir", str(cache_dir)]
+        ) == 0
+        capsys.readouterr()
+        assert (cache_dir / "store.json").exists()
+        assert (cache_dir / "acceptance" / "data.jsonl").exists()
+
+    def test_unusable_cache_dir_fails_before_compute(
+        self, tmp_path, capsys
+    ):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("")
+        with pytest.raises(SystemExit):
+            main([
+                "fig2", "--scale", "smoke",
+                "--cache-dir", str(blocker / "c"),
+            ])
+        assert "unusable" in capsys.readouterr().err
+
+
+class TestPoolLifecycle:
+    def test_run_reaps_the_shared_pool(self, capsys):
+        from repro.experiments import pool as pool_module
+
+        assert main(["fig2", "--scale", "smoke", "--workers", "2"]) == 0
+        capsys.readouterr()
+        assert pool_module._shared_pool is None
+
+
 class TestScalePrecedence:
     """--scale beats $REPRO_SCALE beats the 'default' fallback."""
 

@@ -1,0 +1,174 @@
+#!/usr/bin/env python
+"""Gate pinned hot-path benchmarks against a committed baseline.
+
+Usage::
+
+    python tools/check_bench.py benchmarks/baselines/baseline.json \
+        bench.json [--tolerance 0.30]
+
+Both files are ``pytest-benchmark --benchmark-json`` outputs.  The
+pinned benchmarks cover the sweep engine's hot paths:
+
+* ``test_rta_batch`` — the vectorised admission-test kernel,
+* ``test_persistent_pool_fanout`` — multi-sweep fan-out through the
+  persistent worker pool,
+* ``test_store_warm_read`` / ``test_store_put_many`` — the sharded
+  result store's batched read/write paths.
+
+Raw means are meaningless across machines (the committed baseline was
+recorded on one box, CI runs on another), so every pinned mean is
+**normalised by the calibration benchmark's mean from the same file**
+(``test_randfixedsum`` — a numpy-bound kernel nobody optimises by
+accident).  The gate fails when a pinned benchmark's normalised mean
+regresses more than ``--tolerance`` (default 30%) past the baseline.
+
+Regenerate the baseline after an *intended* perf change::
+
+    PYTHONPATH=src REPRO_SCALE=smoke python -m pytest \
+        benchmarks/test_bench_micro.py benchmarks/test_bench_parallel.py \
+        benchmarks/test_bench_store.py --benchmark-json=/tmp/bench.json -q
+    python tools/check_bench.py --slim /tmp/bench.json \
+        benchmarks/baselines/baseline.json
+
+(``--slim`` strips the per-round raw data pytest-benchmark embeds —
+the committed baseline only needs names, means, and provenance.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Benchmark (function) names whose normalised means are gated.
+PINNED = (
+    "test_rta_batch",
+    "test_persistent_pool_fanout",
+    "test_store_warm_read",
+    "test_store_put_many",
+)
+
+#: The normaliser: CPU-bound, stable, present in every gated run.
+CALIBRATION = "test_randfixedsum"
+
+
+def load_means(path: Path) -> dict[str, float]:
+    try:
+        document = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        sys.exit(f"check_bench: cannot read {path}: {exc}")
+    means: dict[str, float] = {}
+    for bench in document.get("benchmarks", []):
+        means[bench["name"]] = float(bench["stats"]["mean"])
+    return means
+
+
+def slim(source: Path, destination: Path) -> int:
+    """Reduce a full pytest-benchmark JSON to the committed-baseline
+    form: provenance plus per-benchmark name and stats (no raw rounds)."""
+    document = json.loads(source.read_text())
+    reduced = {
+        "machine_info": document.get("machine_info", {}),
+        "datetime": document.get("datetime"),
+        "benchmarks": [
+            {
+                "name": bench["name"],
+                "fullname": bench.get("fullname", bench["name"]),
+                "stats": {
+                    key: value
+                    for key, value in bench["stats"].items()
+                    if key != "data"
+                },
+            }
+            for bench in document.get("benchmarks", [])
+        ],
+    }
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    destination.write_text(json.dumps(reduced, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {destination} ({len(reduced['benchmarks'])} benchmarks)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "baseline", type=Path,
+        help="committed baseline JSON (or the source run with --slim)",
+    )
+    parser.add_argument(
+        "current", type=Path,
+        help="fresh benchmark JSON (or the destination with --slim)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="allowed relative regression of the normalised mean "
+        "(default: 0.30 = 30%%)",
+    )
+    parser.add_argument(
+        "--slim",
+        action="store_true",
+        help="write a slimmed baseline from BASELINE to CURRENT "
+        "instead of gating",
+    )
+    args = parser.parse_args(argv)
+
+    if args.slim:
+        return slim(args.baseline, args.current)
+
+    baseline = load_means(args.baseline)
+    current = load_means(args.current)
+
+    missing = [
+        name
+        for name in (*PINNED, CALIBRATION)
+        for means, origin in ((baseline, "baseline"), (current, "current"))
+        if name not in means
+    ]
+    if missing:
+        sys.exit(
+            f"check_bench: benchmark(s) missing from baseline/current "
+            f"run: {sorted(set(missing))}"
+        )
+
+    failures = []
+    print(
+        f"{'benchmark':<32} {'base (norm)':>12} {'now (norm)':>12} "
+        f"{'ratio':>7}  verdict"
+    )
+    for name in PINNED:
+        base_norm = baseline[name] / baseline[CALIBRATION]
+        cur_norm = current[name] / current[CALIBRATION]
+        ratio = cur_norm / base_norm
+        regressed = ratio > 1.0 + args.tolerance
+        verdict = "REGRESSED" if regressed else (
+            "improved" if ratio < 1.0 else "ok"
+        )
+        print(
+            f"{name:<32} {base_norm:>12.3f} {cur_norm:>12.3f} "
+            f"{ratio:>6.2f}x  {verdict}"
+        )
+        if regressed:
+            failures.append((name, ratio))
+
+    print(
+        f"calibration ({CALIBRATION}): baseline "
+        f"{baseline[CALIBRATION] * 1e3:.3f}ms vs current "
+        f"{current[CALIBRATION] * 1e3:.3f}ms"
+    )
+    if failures:
+        summary = ", ".join(f"{n} ×{r:.2f}" for n, r in failures)
+        print(
+            f"check_bench: FAIL — pinned hot path(s) regressed beyond "
+            f"{args.tolerance:.0%}: {summary}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"check_bench: OK — no pinned path regressed > {args.tolerance:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
