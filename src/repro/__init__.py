@@ -14,7 +14,8 @@ paper end to end:
 * optimisation substrate — closed forms, a GP solver, a simplex LP
   solver, exhaustive and branch-and-bound searches (:mod:`repro.opt`);
 * the allocators — HYDRA, SingleCore, OPT and ablation variants
-  (:mod:`repro.core`);
+  (:mod:`repro.core`) behind one registry-backed strategy API
+  (:mod:`repro.allocators`);
 * a discrete-event scheduler simulator with attack injection
   (:mod:`repro.sim`);
 * metrics and experiment drivers regenerating every table/figure
@@ -36,6 +37,12 @@ Quickstart::
         print(a.task.name, "→ core", a.core, "period", round(a.period))
 """
 
+from repro.allocators import (
+    AllocationResult,
+    get_allocator,
+    register_allocator,
+    run_allocator,
+)
 from repro.core import (
     Allocation,
     Allocator,
@@ -47,6 +54,7 @@ from repro.core import (
 )
 from repro.errors import (
     AllocationError,
+    ConfigError,
     InfeasibleError,
     PartitioningError,
     ReproError,
@@ -74,14 +82,19 @@ __all__ = [
     "SecurityTask",
     "TaskSet",
     "Allocation",
+    "AllocationResult",
     "Allocator",
     "SecurityAssignment",
+    "register_allocator",
+    "get_allocator",
+    "run_allocator",
     "HydraAllocator",
     "SingleCoreAllocator",
     "OptimalAllocator",
     "build_singlecore_system",
     "ReproError",
     "ValidationError",
+    "ConfigError",
     "PartitioningError",
     "InfeasibleError",
     "SolverError",

@@ -1,0 +1,52 @@
+"""First-class allocator API: one protocol, one registry, typed results.
+
+The paper is a design-space exploration over *how security tasks are
+allocated*; this package makes the allocation strategy a first-class,
+sweepable axis.  Every strategy implements the single
+:class:`~repro.core.allocator.Allocator` protocol
+(``allocate(SystemModel) -> Allocation``), registers itself with
+:func:`register_allocator`, and is then reachable everywhere by spec
+string — TOML scenario grids (``[grid] allocator = [...]``), the
+``repro-hydra allocators`` / ``--allocator`` CLI surface, and the
+comparison sweeps — with no driver code.
+
+:func:`run_allocator` is the uniform entry point: it resolves a spec,
+runs the strategy, and returns a typed
+:class:`~repro.model.allocation.AllocationResult` (allocation +
+security partition + tightness + solver diagnostics + timing) that the
+sim layer (:mod:`repro.sim.runner`) consumes directly.
+
+See README "Writing a new allocator" for the plugin recipe.
+"""
+
+from repro.allocators.binpack import BIN_PACKING_RULES, BinPackingAllocator
+from repro.allocators.registry import (
+    AllocatorInfo,
+    UnknownAllocatorError,
+    allocator_names,
+    get_allocator,
+    get_allocator_info,
+    iter_allocator_info,
+    register_allocator,
+    run_allocator,
+    unregister_allocator,
+)
+from repro.core.allocator import Allocator
+from repro.model.allocation import Allocation, AllocationResult
+
+__all__ = [
+    "Allocator",
+    "Allocation",
+    "AllocationResult",
+    "AllocatorInfo",
+    "UnknownAllocatorError",
+    "register_allocator",
+    "unregister_allocator",
+    "get_allocator",
+    "get_allocator_info",
+    "allocator_names",
+    "iter_allocator_info",
+    "run_allocator",
+    "BIN_PACKING_RULES",
+    "BinPackingAllocator",
+]

@@ -38,6 +38,7 @@ __all__ = [
     "rta_test",
     "rta_batch_test",
     "AdmissionTest",
+    "ADMISSION_TESTS",
     "get_admission_test",
     "partition_schedulable",
     "security_schedulable_on_core",
@@ -114,15 +115,22 @@ _TESTS: dict[str, AdmissionTest] = {
 }
 
 
+#: Known admission-test names, in registration order (the scenario
+#: validator and the CLI list consume this instead of private state).
+ADMISSION_TESTS = tuple(_TESTS)
+
+
 def get_admission_test(name: str) -> AdmissionTest:
     """Look up an admission test by name (``rta``, ``hyperbolic``,
     ``liu-layland`` or ``utilization``)."""
     try:
         return _TESTS[name]
     except KeyError:
-        raise ValueError(
-            f"unknown admission test {name!r}; expected one of "
-            f"{sorted(_TESTS)}"
+        from repro.errors import ConfigError
+
+        raise ConfigError(
+            f"unknown admission test {name!r}; known tests: "
+            f"{', '.join(sorted(_TESTS))}"
         ) from None
 
 

@@ -5,6 +5,8 @@ registered :class:`~repro.experiments.api.Experiment` (built-in or
 plugin) gets its own subcommand, plus three meta commands::
 
     repro-hydra list                         # what can I run?
+    repro-hydra allocators                   # which strategies exist?
+    repro-hydra allocators optimal           # describe one strategy
     repro-hydra table1
     repro-hydra fig2 --scale default --workers 4
     repro-hydra fig3 --scale paper --workers 8 --cache-dir results/cache
@@ -37,8 +39,12 @@ Results are structured: ``--format json`` emits the versioned
 back with ``ExperimentResult.from_json``), ``--format csv`` the flat
 tabular view, and ``--output FILE`` writes either to a file instead of
 stdout.  ``repro-hydra sweep --config spec.toml`` runs a user-defined
-scenario grid (heuristic × ordering × admission × core count) with no
-driver code at all — see :mod:`repro.experiments.scenario`.
+scenario grid (allocator × heuristic × ordering × admission × core
+count) with no driver code at all — see
+:mod:`repro.experiments.scenario`; ``--allocator NAME`` (repeatable)
+overrides the grid's allocator axis from the command line, and
+``repro-hydra allocators`` lists/describes every strategy registered
+with :mod:`repro.allocators`.
 """
 
 from __future__ import annotations
@@ -49,7 +55,7 @@ import sys
 from pathlib import Path
 from typing import TYPE_CHECKING, Sequence
 
-from repro.errors import CacheError, ValidationError
+from repro.errors import CacheError, ConfigError, ValidationError
 from repro.experiments.config import get_scale
 from repro.experiments.registry import (
     experiment_names,
@@ -67,7 +73,7 @@ __all__ = ["main", "build_parser"]
 DEFAULT_CACHE_DIR = ".repro-cache"
 
 #: Meta commands that are not registry experiments.
-_META_COMMANDS = ("list", "all", "ablations", "sweep", "cache")
+_META_COMMANDS = ("list", "allocators", "all", "ablations", "sweep", "cache")
 
 _FORMATS = ("text", "json", "csv")
 
@@ -174,6 +180,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="'text' for a table, 'json' for machine-readable specs",
     )
 
+    allocators = subparsers.add_parser(
+        "allocators",
+        help="list or describe the registered allocation strategies",
+        description=(
+            "Without NAME: one line per registered allocator (what a "
+            "TOML grid's 'allocator' axis and --allocator accept). "
+            "With NAME: the full description of one strategy."
+        ),
+    )
+    allocators.add_argument(
+        "name",
+        nargs="?",
+        default=None,
+        metavar="NAME",
+        help="describe this allocator instead of listing all of them",
+    )
+    allocators.add_argument(
+        "--format",
+        dest="output_format",
+        default="text",
+        choices=("text", "json"),
+        help="'text' for a table, 'json' for machine-readable specs",
+    )
+
     for experiment in iter_experiments():
         spec = experiment.spec()
         sub = subparsers.add_parser(
@@ -204,6 +234,17 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         required=True,
         help="scenario TOML file (see examples/custom_sweep.toml)",
+    )
+    sweep.add_argument(
+        "--allocator",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help=(
+            "sweep this allocation strategy (repeatable); overrides the "
+            "config's 'allocator' axis — see 'repro-hydra allocators' "
+            "for what is registered"
+        ),
     )
     _add_run_options(sweep)
 
@@ -255,7 +296,10 @@ def _selected_experiments(args) -> list["Experiment"]:
             load_scenario,
         )
 
-        return [ScenarioExperiment(load_scenario(args.config))]
+        config = load_scenario(args.config)
+        if args.allocator:
+            config = config.with_allocators(args.allocator)
+        return [ScenarioExperiment(config)]
     return [get_experiment(args.experiment)]
 
 
@@ -269,6 +313,14 @@ def _emit(text: str, output: str | None) -> None:
         target.write_text(text if text.endswith("\n") else text + "\n")
 
 
+def _one_line(text: str, limit: int = 72) -> str:
+    """First line of ``text``, ellipsised to ``limit`` characters."""
+    line = text.strip().splitlines()[0] if text.strip() else ""
+    if len(line) > limit:
+        return line[: limit - 1].rstrip() + "…"
+    return line
+
+
 def _run_list(args) -> int:
     from repro.experiments.reporting import format_table
 
@@ -278,14 +330,57 @@ def _run_list(args) -> int:
         return 0
     print(
         format_table(
-            ["name", "title", "tags"],
-            [(s.name, s.title, ",".join(s.tags)) for s in specs],
+            ["name", "description", "tags"],
+            [
+                (s.name, _one_line(s.description or s.title), ",".join(s.tags))
+                for s in specs
+            ],
             title="Registered experiments (run with 'repro-hydra <name>')",
         )
     )
     print(
-        "\nmeta commands: ablations, all, "
+        "\nmeta commands: allocators, ablations, all, "
         "sweep --config FILE (TOML scenario grid)"
+    )
+    return 0
+
+
+def _run_allocators(args) -> int:
+    from repro.allocators import get_allocator_info, iter_allocator_info
+    from repro.experiments.reporting import format_table
+
+    if args.name is not None:
+        info = get_allocator_info(args.name)  # typed error when unknown
+        if args.output_format == "json":
+            print(json.dumps(info.to_dict(), indent=2))
+            return 0
+        print(f"{info.name} — {info.title}")
+        if info.tags:
+            print(f"tags: {', '.join(info.tags)}")
+        if info.description:
+            print(f"\n{info.description}")
+        print(
+            "\nsweep it: repro-hydra sweep --config FILE "
+            f"--allocator {info.name}"
+        )
+        return 0
+
+    infos = list(iter_allocator_info())
+    if args.output_format == "json":
+        print(json.dumps([i.to_dict() for i in infos], indent=2))
+        return 0
+    print(
+        format_table(
+            ["name", "title", "tags"],
+            [(i.name, _one_line(i.title), ",".join(i.tags)) for i in infos],
+            title=(
+                "Registered allocators (sweep with a TOML 'allocator' "
+                "axis or --allocator NAME)"
+            ),
+        )
+    )
+    print(
+        "\ndescribe one: repro-hydra allocators NAME"
     )
     return 0
 
@@ -387,6 +482,11 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.experiment == "list":
         return _run_list(args)
+    if args.experiment == "allocators":
+        try:
+            return _run_allocators(args)
+        except ConfigError as exc:
+            parser.error(str(exc))
     if args.experiment == "cache":
         try:
             return _run_cache(args)
@@ -406,7 +506,7 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     try:
         experiments = _selected_experiments(args)
-    except ValidationError as exc:
+    except (ValidationError, ConfigError) as exc:
         parser.error(str(exc))
 
     fmt = args.output_format
@@ -423,7 +523,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         # one fork for the whole invocation, reaped when the runs end.
         for experiment in experiments:
             results.append((experiment, experiment.run(scale, engine)))
-    except ValidationError as exc:
+    except (ValidationError, ConfigError) as exc:
         # Config-level mistakes (e.g. a scenario utilisation range that
         # only becomes resolvable against the scale) surface as clean
         # CLI errors, not tracebacks.

@@ -16,6 +16,7 @@ from repro.core.advice import (
 )
 from repro.core.allocator import (
     Allocation,
+    AllocationResult,
     Allocator,
     SecurityAssignment,
     as_allocation,
@@ -37,6 +38,7 @@ from repro.core.variants import (
 
 __all__ = [
     "Allocation",
+    "AllocationResult",
     "Allocator",
     "SecurityAssignment",
     "as_allocation",

@@ -1,135 +1,49 @@
-"""Common allocator interface and result types.
+"""Common allocator interface.
 
-Every allocation scheme in the paper (HYDRA, SingleCore, OPT) and every
-ablation variant consumes a :class:`~repro.model.system.SystemModel` and
-produces an :class:`Allocation`: either a complete security-task → (core,
-period) mapping, or a verdict of *unschedulable* naming the first task
-that could not be placed (the paper's Algorithm 1 line 9).
+The result types (:class:`~repro.model.allocation.SecurityAssignment`,
+:class:`~repro.model.allocation.Allocation`,
+:class:`~repro.model.allocation.AllocationResult`) live in
+:mod:`repro.model.allocation` — they are pure data shared by every
+layer; this module keeps re-exporting them so pre-existing imports
+(``from repro.core.allocator import Allocation``) stay valid.
+
+What lives *here* is the behavioural contract: the :class:`Allocator`
+ABC every allocation scheme in the paper (HYDRA, SingleCore, OPT), every
+ablation variant, and every registered strategy
+(:mod:`repro.allocators`) implements.
 """
 
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
-from typing import Mapping
 
-from repro.errors import ValidationError
+from repro.model.allocation import (  # noqa: F401 - compat re-exports
+    Allocation,
+    AllocationResult,
+    SecurityAssignment,
+    as_allocation,
+)
 from repro.model.system import SystemModel
-from repro.model.task import SecurityTask
 
-__all__ = ["SecurityAssignment", "Allocation", "Allocator", "as_allocation"]
-
-
-@dataclass(frozen=True, slots=True)
-class SecurityAssignment:
-    """One security task placed on a core with an adapted period."""
-
-    task: SecurityTask
-    core: int
-    period: float
-
-    def __post_init__(self) -> None:
-        tolerance = 1e-6 * max(1.0, self.period_max)
-        if not (
-            self.task.period_des - tolerance
-            <= self.period
-            <= self.task.period_max + tolerance
-        ):
-            raise ValidationError(
-                f"assigned period {self.period} for {self.task.name!r} "
-                f"violates [{self.task.period_des}, {self.task.period_max}]"
-            )
-
-    @property
-    def period_max(self) -> float:
-        return self.task.period_max
-
-    @property
-    def tightness(self) -> float:
-        """``η = T_des / T`` achieved by this assignment."""
-        return self.task.period_des / self.period
-
-    @property
-    def utilization(self) -> float:
-        """Utilisation consumed on the core, ``C / T``."""
-        return self.task.wcet / self.period
-
-
-@dataclass(frozen=True)
-class Allocation:
-    """Result of a security-task allocation attempt.
-
-    A *schedulable* allocation carries one :class:`SecurityAssignment`
-    per security task (in priority order); an unschedulable one carries
-    the name of the first task for which no core was feasible.
-    """
-
-    scheme: str
-    schedulable: bool
-    assignments: tuple[SecurityAssignment, ...] = ()
-    failed_task: str | None = None
-    #: Free-form diagnostics (search statistics, solver info, …).
-    info: Mapping[str, object] = field(default_factory=dict)
-
-    def __post_init__(self) -> None:
-        if self.schedulable and self.failed_task is not None:
-            raise ValidationError(
-                "a schedulable allocation cannot name a failed task"
-            )
-        if not self.schedulable and self.assignments:
-            raise ValidationError(
-                "an unschedulable allocation must not carry assignments"
-            )
-
-    # -- lookup helpers ------------------------------------------------
-
-    def assignment_for(self, task: SecurityTask | str) -> SecurityAssignment:
-        name = task if isinstance(task, str) else task.name
-        for assignment in self.assignments:
-            if assignment.task.name == name:
-                return assignment
-        raise KeyError(name)
-
-    def periods(self) -> dict[str, float]:
-        """Task name → assigned period."""
-        return {a.task.name: a.period for a in self.assignments}
-
-    def cores(self) -> dict[str, int]:
-        """Task name → assigned core."""
-        return {a.task.name: a.core for a in self.assignments}
-
-    def tasks_on(self, core: int) -> tuple[SecurityAssignment, ...]:
-        """Assignments placed on ``core``."""
-        return tuple(a for a in self.assignments if a.core == core)
-
-    # -- metrics ---------------------------------------------------------
-
-    def cumulative_tightness(
-        self, weights: Mapping[str, float] | None = None
-    ) -> float:
-        """``Σ ω_s · η_s`` (unweighted when ``weights`` is ``None``)."""
-        if not self.schedulable:
-            return 0.0
-        if weights is None:
-            return sum(a.tightness for a in self.assignments)
-        return sum(
-            weights.get(a.task.name, 1.0) * a.tightness
-            for a in self.assignments
-        )
-
-    def mean_tightness(self) -> float:
-        """Average tightness over the security tasks (0 if unschedulable)."""
-        if not self.assignments:
-            return 0.0
-        return self.cumulative_tightness() / len(self.assignments)
-
-    def security_utilization(self) -> float:
-        """Total utilisation consumed by the allocated security tasks."""
-        return sum(a.utilization for a in self.assignments)
+__all__ = [
+    "SecurityAssignment",
+    "Allocation",
+    "AllocationResult",
+    "Allocator",
+    "as_allocation",
+]
 
 
 class Allocator(abc.ABC):
-    """Base class for security-task allocation schemes."""
+    """Base class for security-task allocation schemes.
+
+    This is the single strategy protocol of the allocator API: one
+    method, ``allocate(system) -> Allocation``, over the shared
+    :class:`~repro.model.system.SystemModel` input (which carries the
+    :class:`~repro.model.platform.Platform`).  Register implementations
+    with :func:`repro.allocators.register_allocator` to make them
+    sweepable from TOML grids and the CLI.
+    """
 
     #: Short scheme identifier used in results and reports.
     name: str = "base"
@@ -147,32 +61,3 @@ class Allocator(abc.ABC):
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(name={self.name!r})"
-
-
-def as_allocation(
-    scheme: str,
-    system: SystemModel,
-    assignment: Mapping[str, int],
-    periods: Mapping[str, float],
-    info: Mapping[str, object] | None = None,
-) -> Allocation:
-    """Build a schedulable :class:`Allocation` from plain mappings.
-
-    Keeps priority order, which downstream consumers (simulator,
-    reports) rely on.
-    """
-    from repro.model.priority import security_priority_order
-
-    ordered = security_priority_order(system.security_tasks)
-    assignments = tuple(
-        SecurityAssignment(
-            task=task, core=assignment[task.name], period=periods[task.name]
-        )
-        for task in ordered
-    )
-    return Allocation(
-        scheme=scheme,
-        schedulable=True,
-        assignments=assignments,
-        info=dict(info or {}),
-    )

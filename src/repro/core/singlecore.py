@@ -40,6 +40,7 @@ def build_singlecore_system(
     heuristic: str = "best-fit",
     admission: str | AdmissionTest = "rta",
     weights: dict[str, float] | None = None,
+    ordering: str = "utilization",
 ) -> SystemModel | None:
     """Build the SingleCore variant of a system.
 
@@ -56,7 +57,8 @@ def build_singlecore_system(
         security_tasks = TaskSet(security_tasks)
     reduced = Platform(platform.num_cores - 1)
     packed = try_partition_tasks(
-        rt_tasks, reduced, heuristic=heuristic, admission=admission
+        rt_tasks, reduced, heuristic=heuristic, admission=admission,
+        ordering=ordering,
     )
     if packed is None:
         return None

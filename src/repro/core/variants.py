@@ -47,8 +47,10 @@ class _GreedyCoreAllocator(Allocator):
     def _choose(
         self,
         candidates: list[tuple[int, PeriodSolution, InterferenceEnv]],
-    ) -> tuple[int, PeriodSolution]:
-        """Pick ``(core, solution)`` from the non-empty feasible list."""
+    ) -> tuple[int, PeriodSolution] | None:
+        """Pick ``(core, solution)`` from the non-empty feasible list —
+        or ``None`` when the rule rejects every candidate (e.g. a
+        next-fit pointer that never looks back)."""
         raise NotImplementedError
 
     def allocate(self, system: SystemModel) -> Allocation:
@@ -69,7 +71,12 @@ class _GreedyCoreAllocator(Allocator):
                 return Allocation(
                     scheme=self.name, schedulable=False, failed_task=task.name
                 )
-            core, solution = self._choose(candidates)
+            choice = self._choose(candidates)
+            if choice is None:
+                return Allocation(
+                    scheme=self.name, schedulable=False, failed_task=task.name
+                )
+            core, solution = choice
             placed[core].append((task, solution.period))
             assignments.append(
                 SecurityAssignment(task=task, core=core, period=solution.period)

@@ -20,6 +20,16 @@ class ValidationError(ReproError, ValueError):
     """
 
 
+class ConfigError(ReproError, ValueError):
+    """A by-name lookup or configuration value did not resolve.
+
+    Raised when a user-supplied name (heuristic, ordering, admission
+    test, allocator, experiment …) matches nothing registered; the
+    message always lists the known names.  Also a :class:`ValueError`
+    so generic input-validation handlers keep working.
+    """
+
+
 class PartitioningError(ReproError):
     """The real-time task set could not be partitioned onto the cores."""
 

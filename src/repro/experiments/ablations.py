@@ -273,12 +273,12 @@ def extension_ablation(
     :class:`~repro.core.nonpreemptive.NonPreemptiveHydraAllocator`,
     which must bring the real-time deadline misses back to zero.
     """
-    from repro.core.nonpreemptive import NonPreemptiveHydraAllocator
+    from repro.allocators import get_allocator
 
     scale = scale or get_scale()
     hydra_system, hydra_alloc, _, _ = build_uav_systems(cores)
     surfaces = surfaces_of(hydra_system.security_tasks)
-    aware_alloc = NonPreemptiveHydraAllocator().allocate(hydra_system)
+    aware_alloc = get_allocator("hydra[np]").allocate(hydra_system)
     modes: list[tuple[str, object, dict]] = [
         ("partitioned", hydra_alloc, {}),
         ("global", hydra_alloc, {"security_mode": "global"}),

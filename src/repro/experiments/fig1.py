@@ -27,9 +27,9 @@ from typing import TYPE_CHECKING, Any, Mapping, Sequence
 
 import numpy as np
 
+from repro.allocators import get_allocator
 from repro.core.allocator import Allocation
-from repro.core.hydra import HydraAllocator
-from repro.core.singlecore import SingleCoreAllocator, build_singlecore_system
+from repro.core.singlecore import build_singlecore_system
 from repro.errors import AllocationError
 from repro.experiments.api import Experiment, GoldenFixture, RawRun
 from repro.experiments.config import ExperimentScale
@@ -128,7 +128,7 @@ def build_uav_systems(
     hydra_system = SystemModel(
         platform=platform, rt_partition=partition, security_tasks=security
     )
-    hydra_alloc = HydraAllocator().allocate(hydra_system)
+    hydra_alloc = get_allocator("hydra").allocate(hydra_system)
     if not hydra_alloc.schedulable:
         raise AllocationError("HYDRA cannot schedule the UAV case study")
 
@@ -138,7 +138,7 @@ def build_uav_systems(
             f"UAV real-time tasks do not fit on {cores - 1} cores for the "
             f"SingleCore scheme"
         )
-    single_alloc = SingleCoreAllocator().allocate(single_system)
+    single_alloc = get_allocator("singlecore").allocate(single_system)
     if not single_alloc.schedulable:
         raise AllocationError("SingleCore cannot schedule the UAV case study")
     return hydra_system, hydra_alloc, single_system, single_alloc

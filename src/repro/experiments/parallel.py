@@ -120,50 +120,20 @@ def _config_from_params(params: Mapping[str, Any]) -> SyntheticConfig | None:
     return synthetic_config_from_dict(raw) if raw is not None else None
 
 
-# -- allocator registry ------------------------------------------------------
-
-#: Allocation-scheme factories by spec string.  Spec strings equal the
-#: allocators' ``name`` attributes so report labels survive the trip
-#: through a JSON sweep spec.
-_ALLOCATOR_FACTORIES: dict[str, Callable[[], Any]] = {}
-
-
-def _register_allocators() -> None:
-    if _ALLOCATOR_FACTORIES:
-        return
-    from repro.core.hydra import HydraAllocator
-    from repro.core.variants import (
-        FirstFeasibleAllocator,
-        LpRefinedHydraAllocator,
-        SlackiestCoreAllocator,
-    )
-
-    _ALLOCATOR_FACTORIES.update(
-        {
-            "hydra": HydraAllocator,
-            "hydra[exact-rta]": lambda: HydraAllocator(solver="exact-rta"),
-            "hydra+lp": LpRefinedHydraAllocator,
-            "first-feasible": FirstFeasibleAllocator,
-            "slackiest-core": SlackiestCoreAllocator,
-        }
-    )
+# -- allocator lookup --------------------------------------------------------
 
 
 def build_allocator(spec: str):
     """Instantiate an allocation scheme from its spec string.
 
-    Known specs: ``hydra``, ``hydra[exact-rta]``, ``hydra+lp``,
-    ``first-feasible``, ``slackiest-core``.
+    .. deprecated::
+        Thin shim over :func:`repro.allocators.get_allocator`, the
+        process-wide allocator registry (every registered strategy is
+        accepted, not just the original five ablation specs).
     """
-    _register_allocators()
-    try:
-        factory = _ALLOCATOR_FACTORIES[spec]
-    except KeyError:
-        raise ValidationError(
-            f"unknown allocator spec {spec!r}; expected one of "
-            f"{sorted(_ALLOCATOR_FACTORIES)}"
-        ) from None
-    return factory()
+    from repro.allocators import get_allocator
+
+    return get_allocator(spec)
 
 
 # -- sweep specification -----------------------------------------------------
@@ -357,16 +327,18 @@ def run_fig3_point(
     rng: np.random.Generator,
 ) -> dict[str, Any]:
     """HYDRA-vs-OPT tightness gaps at one utilisation (Fig. 3)."""
-    from repro.core.hydra import HydraAllocator
-    from repro.core.optimal import OptimalAllocator
+    from repro.allocators import get_allocator
     from repro.experiments.runner import build_hydra_system
     from repro.metrics.improvement import tightness_gap
     from repro.taskgen.synthetic import generate_workload
 
     platform = Platform(int(params["cores"]))
     config = _config_from_params(params)
-    hydra = HydraAllocator()
-    optimal = OptimalAllocator(search=params.get("search", "branch-bound"))
+    hydra = get_allocator("hydra")
+    search = params.get("search", "branch-bound")
+    optimal = get_allocator(
+        "optimal" if search == "exhaustive" else f"optimal[{search}]"
+    )
     gaps: list[float] = []
     hydra_failures = 0
     for _ in range(int(params["tasksets_per_point"])):
@@ -504,14 +476,14 @@ def run_partitioning_point(
     """HYDRA acceptance/tightness under different real-time
     partitioning heuristics on shared task sets (partitioning
     ablation)."""
-    from repro.core.hydra import HydraAllocator
+    from repro.allocators import get_allocator
     from repro.experiments.runner import build_hydra_system
     from repro.taskgen.synthetic import generate_workload
 
     platform = Platform(int(params["cores"]))
     config = _config_from_params(params)
     heuristics = list(params["heuristics"])
-    allocator = HydraAllocator()
+    allocator = get_allocator(params.get("allocator", "hydra"))
     cells = {
         h: {"accepted": 0, "total": 0, "tightness_sum": 0.0}
         for h in heuristics

@@ -19,10 +19,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.allocators import get_allocator
 from repro.analysis.dbf import necessary_condition
 from repro.core.allocator import Allocation, Allocator
-from repro.core.hydra import HydraAllocator
-from repro.core.singlecore import SingleCoreAllocator, build_singlecore_system
+from repro.core.singlecore import build_singlecore_system
 from repro.model.platform import Platform
 from repro.model.system import SystemModel
 from repro.partition.heuristics import try_partition_tasks
@@ -107,8 +107,8 @@ def run_acceptance_trial(
     """
     if isinstance(platform, int):
         platform = Platform(platform)
-    hydra_allocator = hydra_allocator or HydraAllocator()
-    single_allocator = single_allocator or SingleCoreAllocator()
+    hydra_allocator = hydra_allocator or get_allocator("hydra")
+    single_allocator = single_allocator or get_allocator("singlecore")
 
     workload = generate_workload(platform, utilization, rng, config)
     for _ in range(16):

@@ -20,12 +20,22 @@ engine (parallel, cached, byte-deterministic) as the paper figures::
     heuristic = ["best-fit", "worst-fit"]
     ordering = ["rm", "utilization"]
     admission = ["rta"]
+    # optional: sweep the *allocation strategy* itself — any spec
+    # registered in repro.allocators (see 'repro-hydra allocators')
+    allocator = ["hydra", "optimal[branch-bound]", "binpack-best-fit"]
 
 Run it with ``repro-hydra sweep --config scenario.toml``.  Each grid
-cell is labelled ``heuristic/ordering/admission`` and reported as a
-HYDRA acceptance + mean-tightness comparison per core count.  Every
+cell is labelled ``heuristic/ordering/admission`` (prefixed with the
+allocator spec when an ``allocator`` axis is present) and reported as
+an acceptance + mean-tightness comparison per core count.  Every
 combination evaluates the *same* generated task sets at each
-utilisation point, so cells are directly comparable.
+utilisation point, so cells are directly comparable.  The ``allocator``
+axis is the design space the paper is about: without it the sweep runs
+HYDRA (the paper's fixed choice); with it, every named strategy —
+heuristics, LP/GP-backed solvers, optimal searches — competes on
+identical workloads.  The ``singlecore`` strategy implies its own
+real-time packing (M−1 cores + a dedicated security core) and the
+runner prepares that system automatically.
 
 Scenario sweeps ride the same execution/storage layer as the paper
 figures: chained ``sweep --config`` runs in one CLI invocation reuse
@@ -37,6 +47,7 @@ extended axis by axis with only the new cells computing.
 
 from __future__ import annotations
 
+import dataclasses
 import tomllib
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -44,6 +55,7 @@ from typing import TYPE_CHECKING, Any, Mapping, Sequence
 
 import numpy as np
 
+from repro.analysis.schedulability import ADMISSION_TESTS as _ADMISSIONS
 from repro.errors import ValidationError
 from repro.experiments.ablations import (
     AllocatorComparison,
@@ -72,15 +84,18 @@ __all__ = [
     "combo_label",
 ]
 
-#: Admission tests a scenario may select (mirrors
-#: :mod:`repro.analysis.schedulability`; kept literal so config errors
-#: surface at parse time, before any point computes).
-_ADMISSIONS = ("rta", "rta-batch", "hyperbolic", "liu-layland", "utilization")
-
-
-def combo_label(heuristic: str, ordering: str, admission: str) -> str:
-    """Scheme label of one grid cell, e.g. ``best-fit/rm/rta``."""
-    return f"{heuristic}/{ordering}/{admission}"
+def combo_label(
+    heuristic: str,
+    ordering: str,
+    admission: str,
+    allocator: str | None = None,
+) -> str:
+    """Scheme label of one grid cell, e.g. ``best-fit/rm/rta`` — or
+    ``hydra|best-fit/rm/rta`` when the sweep has an allocator axis."""
+    label = f"{heuristic}/{ordering}/{admission}"
+    if allocator is not None:
+        return f"{allocator}|{label}"
+    return label
 
 
 @dataclass(frozen=True)
@@ -96,6 +111,12 @@ class ScenarioConfig:
     heuristics: tuple[str, ...]
     orderings: tuple[str, ...]
     admissions: tuple[str, ...]
+    #: Allocation strategies (registry specs).  ``allocator_axis`` is
+    #: ``False`` when the config never named an ``allocator`` axis: the
+    #: sweep then runs HYDRA exactly as before, with unchanged cell
+    #: labels and cache keys.
+    allocators: tuple[str, ...] = ("hydra",)
+    allocator_axis: bool = False
     seed: int | None = None
     tasksets_per_point: int | None = None
     utilization_start: float | None = None
@@ -104,15 +125,61 @@ class ScenarioConfig:
     title: str = ""
     description: str = ""
 
+    def __post_init__(self) -> None:
+        # SingleCore dedicates one core to security, so it needs M ≥ 2;
+        # reject the combination at config time (both the TOML path and
+        # the --allocator override construct a ScenarioConfig) instead
+        # of letting build_singlecore_system raise mid-sweep.
+        if "singlecore" in self.allocators:
+            bad = [c for c in self.cores if c < 2]
+            if bad:
+                raise ValidationError(
+                    f"invalid scenario config: allocator 'singlecore' "
+                    f"needs at least 2 cores (one is dedicated to "
+                    f"security tasks), but the cores axis includes {bad}"
+                )
+
     @property
     def combos(self) -> list[dict[str, str]]:
-        """All (heuristic, ordering, admission) cells, in grid order."""
-        return [
-            {"heuristic": h, "ordering": o, "admission": a}
-            for h in self.heuristics
-            for o in self.orderings
-            for a in self.admissions
-        ]
+        """All grid cells, in grid order.
+
+        Each cell is a ``{heuristic, ordering, admission}`` dict, with
+        an ``allocator`` key when the sweep has an allocator axis.
+        """
+        cells = []
+        for alloc in self.allocators:
+            for h in self.heuristics:
+                for o in self.orderings:
+                    for a in self.admissions:
+                        cell = {
+                            "heuristic": h, "ordering": o, "admission": a,
+                        }
+                        if self.allocator_axis:
+                            cell = {"allocator": alloc, **cell}
+                        cells.append(cell)
+        return cells
+
+    def with_allocators(self, allocators: Sequence[str]) -> "ScenarioConfig":
+        """A copy sweeping ``allocators`` (the ``--allocator`` override).
+
+        Validates like the TOML axis: every spec must be registered
+        (unknown names raise the registry's typed error listing what is
+        known) and duplicates are rejected, not silently double-counted.
+        """
+        from repro.allocators import get_allocator_info
+
+        seen: set[str] = set()
+        for spec in allocators:
+            get_allocator_info(spec)
+            if spec in seen:
+                raise ValidationError(
+                    f"invalid scenario config: --allocator {spec!r} "
+                    f"given more than once"
+                )
+            seen.add(spec)
+        return dataclasses.replace(
+            self, allocators=tuple(allocators), allocator_axis=True
+        )
 
 
 def _require(
@@ -153,7 +220,7 @@ def parse_scenario(document: Mapping[str, Any]) -> ScenarioConfig:
         f"unknown [sweep] key(s) {sorted(unknown)}; expected "
         f"{sorted(known_sweep)}",
     )
-    known_grid = {"cores", "heuristic", "ordering", "admission"}
+    known_grid = {"cores", "heuristic", "ordering", "admission", "allocator"}
     unknown = set(grid) - known_grid
     _require(
         not unknown,
@@ -235,6 +302,14 @@ def parse_scenario(document: Mapping[str, Any]) -> ScenarioConfig:
             "[sweep] utilization start must not exceed stop",
         )
 
+    allocator_axis = "allocator" in grid
+    if allocator_axis:
+        from repro.allocators import allocator_names
+
+        allocators = axis("allocator", allocator_names())
+    else:
+        allocators = ("hydra",)
+
     return ScenarioConfig(
         name=name,
         title=str(sweep.get("title", "")),
@@ -243,6 +318,8 @@ def parse_scenario(document: Mapping[str, Any]) -> ScenarioConfig:
         heuristics=axis("heuristic", HEURISTICS),
         orderings=axis("ordering", ORDERINGS),
         admissions=axis("admission", _ADMISSIONS),
+        allocators=allocators,
+        allocator_axis=allocator_axis,
         seed=seed,
         tasksets_per_point=tasksets,
         utilization_start=(
@@ -282,16 +359,31 @@ def run_scenario_point(
     params: Mapping[str, Any],
     rng: np.random.Generator,
 ) -> dict[str, Any]:
-    """HYDRA acceptance/tightness for every (heuristic, ordering,
-    admission) combo on shared task sets at one utilisation point."""
-    from repro.core.hydra import HydraAllocator
+    """Acceptance/tightness for every grid combo — (allocator,)
+    heuristic, ordering, admission — on shared task sets at one
+    utilisation point.
+
+    The allocation strategy is resolved through the
+    :mod:`repro.allocators` registry (``"hydra"`` when the sweep has no
+    allocator axis).  The ``singlecore`` strategy implies its own
+    system shape — real-time tasks packed onto ``M−1`` cores, the last
+    core dedicated to security — so it is prepared via
+    :func:`~repro.core.singlecore.build_singlecore_system` with the
+    combo's heuristic/ordering/admission; every other strategy runs on
+    the all-cores partition.
+    """
+    from repro.allocators import get_allocator
+    from repro.core.singlecore import build_singlecore_system
     from repro.model.system import SystemModel
     from repro.partition.heuristics import try_partition_tasks
     from repro.taskgen.synthetic import generate_workload
 
     platform = Platform(int(params["cores"]))
     combos = [dict(c) for c in params["combos"]]
-    allocator = HydraAllocator()
+    allocators = {
+        spec: get_allocator(spec)
+        for spec in {c.get("allocator", "hydra") for c in combos}
+    }
     cells = {
         combo_label(**c): {"accepted": 0, "total": 0, "tightness_sum": 0.0}
         for c in combos
@@ -303,21 +395,34 @@ def run_scenario_point(
         for combo in combos:
             cell = cells[combo_label(**combo)]
             cell["total"] += 1
-            partition = try_partition_tasks(
-                workload.rt_tasks,
-                platform,
-                heuristic=combo["heuristic"],
-                admission=combo["admission"],
-                ordering=combo["ordering"],
-            )
-            if partition is None:
-                continue
-            system = SystemModel(
-                platform=platform,
-                rt_partition=partition,
-                security_tasks=workload.security_tasks,
-            )
-            allocation = allocator.allocate(system)
+            spec = combo.get("allocator", "hydra")
+            if spec == "singlecore":
+                system = build_singlecore_system(
+                    platform,
+                    workload.rt_tasks,
+                    workload.security_tasks,
+                    heuristic=combo["heuristic"],
+                    admission=combo["admission"],
+                    ordering=combo["ordering"],
+                )
+                if system is None:
+                    continue
+            else:
+                partition = try_partition_tasks(
+                    workload.rt_tasks,
+                    platform,
+                    heuristic=combo["heuristic"],
+                    admission=combo["admission"],
+                    ordering=combo["ordering"],
+                )
+                if partition is None:
+                    continue
+                system = SystemModel(
+                    platform=platform,
+                    rt_partition=partition,
+                    security_tasks=workload.security_tasks,
+                )
+            allocation = allocators[spec].allocate(system)
             if allocation.schedulable:
                 cell["accepted"] += 1
                 cell["tightness_sum"] += allocation.mean_tightness()
@@ -476,11 +581,13 @@ class ScenarioExperiment(Experiment):
         )
 
     def render_domain(self, domain: ScenarioResult) -> str:
+        axes = "heuristic/ordering/admission"
+        if self.config.allocator_axis:
+            axes = f"allocator|{axes}"
         blocks = [
             format_allocator_comparison(
                 panel.comparison,
-                f"Scenario '{domain.name}' — "
-                f"heuristic/ordering/admission grid",
+                f"Scenario '{domain.name}' — {axes} grid",
             )
             for panel in domain.panels
         ]

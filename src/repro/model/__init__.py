@@ -8,9 +8,18 @@ Public surface:
 * :class:`~repro.model.platform.Platform` — ``M`` identical cores.
 * :class:`~repro.model.system.Partition` — real-time task → core map.
 * :class:`~repro.model.system.SystemModel` — the allocator input bundle.
+* :class:`~repro.model.allocation.Allocation`,
+  :class:`~repro.model.allocation.AllocationResult` — what allocation
+  strategies produce (see :mod:`repro.allocators`).
 * Priority policies in :mod:`repro.model.priority`.
 """
 
+from repro.model.allocation import (
+    Allocation,
+    AllocationResult,
+    SecurityAssignment,
+    as_allocation,
+)
 from repro.model.platform import Platform
 from repro.model.priority import (
     assign_rate_monotonic,
@@ -38,6 +47,10 @@ __all__ = [
     "Platform",
     "Partition",
     "SystemModel",
+    "Allocation",
+    "AllocationResult",
+    "SecurityAssignment",
+    "as_allocation",
     "RealTimeTask",
     "SecurityTask",
     "TaskSet",

@@ -25,7 +25,7 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 from repro.analysis.schedulability import AdmissionTest, get_admission_test
-from repro.errors import PartitioningError
+from repro.errors import ConfigError, PartitioningError
 from repro.model.platform import Platform
 from repro.model.system import Partition
 from repro.model.task import RealTimeTask, TaskSet
@@ -53,8 +53,9 @@ def _ordered_tasks(
         return sorted(tasks, key=lambda t: (t.period, -t.wcet, t.name))
     if ordering == "input":
         return list(tasks)
-    raise ValueError(
-        f"unknown ordering {ordering!r}; expected one of {ORDERINGS}"
+    raise ConfigError(
+        f"unknown ordering {ordering!r}; known orderings: "
+        f"{', '.join(ORDERINGS)}"
     )
 
 
@@ -84,8 +85,9 @@ def try_partition_tasks(
         One of :data:`ORDERINGS`; order in which tasks are placed.
     """
     if heuristic not in HEURISTICS:
-        raise ValueError(
-            f"unknown heuristic {heuristic!r}; expected one of {HEURISTICS}"
+        raise ConfigError(
+            f"unknown heuristic {heuristic!r}; known heuristics: "
+            f"{', '.join(HEURISTICS)}"
         )
     test: AdmissionTest = (
         get_admission_test(admission) if isinstance(admission, str) else admission

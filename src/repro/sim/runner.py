@@ -2,10 +2,16 @@
 
 Builds :class:`~repro.sim.engine.SimTask` lists from a
 :class:`~repro.model.system.SystemModel` and a schedulable
-:class:`~repro.core.allocator.Allocation`, enforcing the paper's
+:class:`~repro.model.allocation.Allocation`, enforcing the paper's
 priority structure: real-time tasks occupy the top priority band (RM
 order), security tasks sit strictly below (ordered by ``T_max``), and
 each security task runs at its *assigned* period.
+
+Both entry points also accept the typed
+:class:`~repro.model.allocation.AllocationResult` envelope the
+allocator API (:func:`repro.allocators.run_allocator`) returns, so
+detection-time simulation runs over *any* registered strategy without
+unwrapping by hand.
 """
 
 from __future__ import annotations
@@ -14,8 +20,8 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
-from repro.core.allocator import Allocation
 from repro.errors import ValidationError
+from repro.model.allocation import Allocation, AllocationResult
 from repro.model.priority import rate_monotonic_order, security_priority_order
 from repro.model.system import SystemModel
 from repro.sim.engine import SimResult, SimTask, Simulator
@@ -25,7 +31,7 @@ __all__ = ["build_sim_tasks", "simulate_allocation"]
 
 def build_sim_tasks(
     system: SystemModel,
-    allocation: Allocation,
+    allocation: Allocation | AllocationResult,
     security_mode: str = "partitioned",
     preemptible_security: bool = True,
     precedence: Mapping[str, Sequence[str]] | None = None,
@@ -37,7 +43,9 @@ def build_sim_tasks(
     Parameters
     ----------
     system, allocation:
-        The allocated system; ``allocation`` must be schedulable.
+        The allocated system; ``allocation`` must be schedulable.  An
+        :class:`~repro.model.allocation.AllocationResult` (from
+        :func:`repro.allocators.run_allocator`) is accepted directly.
     security_mode:
         ``"partitioned"`` (paper) binds each security task to its
         allocated core; ``"global"`` (§V extension) lets security jobs
@@ -56,6 +64,8 @@ def build_sim_tasks(
         Lower bound of actual execution time as a fraction of the WCET
         (1.0 = always worst case, the analysis model).
     """
+    if isinstance(allocation, AllocationResult):
+        allocation = allocation.allocation
     if not allocation.schedulable:
         raise ValidationError(
             "cannot simulate an unschedulable allocation "
@@ -117,7 +127,7 @@ def build_sim_tasks(
 
 def simulate_allocation(
     system: SystemModel,
-    allocation: Allocation,
+    allocation: Allocation | AllocationResult,
     duration: float,
     rng: np.random.Generator | int | None = None,
     security_mode: str = "partitioned",

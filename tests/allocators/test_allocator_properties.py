@@ -1,0 +1,148 @@
+"""Property-based tests (hypothesis) over the whole allocator registry.
+
+Two invariants the paper's model demands of *every* strategy, checked
+against randomly generated systems:
+
+* the real-time partition returned by any heuristic × ordering respects
+  the chosen admission test on every core;
+* any registered allocator's schedulable allocation keeps every
+  security period inside ``[T_des, T_max]`` and passes the independent
+  first-principles verifier (:func:`repro.core.verify.verify_allocation`).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.allocators import allocator_names, get_allocator
+from repro.analysis.schedulability import ADMISSION_TESTS, get_admission_test
+from repro.core.verify import verify_allocation
+from repro.model import (
+    Partition,
+    Platform,
+    RealTimeTask,
+    SecurityTask,
+    SystemModel,
+    TaskSet,
+)
+from repro.partition.heuristics import HEURISTICS, ORDERINGS, \
+    try_partition_tasks
+
+# -- strategies ---------------------------------------------------------------
+
+
+@st.composite
+def rt_tasksets(draw) -> list[RealTimeTask]:
+    n = draw(st.integers(min_value=1, max_value=5))
+    tasks = []
+    for i in range(n):
+        period = draw(st.floats(min_value=5.0, max_value=500.0))
+        utilization = draw(st.floats(min_value=0.05, max_value=0.45))
+        tasks.append(
+            RealTimeTask(
+                name=f"rt{i}", wcet=period * utilization, period=period
+            )
+        )
+    return tasks
+
+
+@st.composite
+def two_core_systems(draw) -> SystemModel:
+    """A 2-core system with light RT load on core 0 and 1–3 security
+    tasks; core 1 stays empty so even SingleCore has a valid shape."""
+    n_rt = draw(st.integers(min_value=1, max_value=3))
+    rt = []
+    for i in range(n_rt):
+        period = draw(st.floats(min_value=10.0, max_value=200.0))
+        utilization = draw(st.floats(min_value=0.05, max_value=0.2))
+        rt.append(
+            RealTimeTask(
+                name=f"rt{i}", wcet=period * utilization, period=period
+            )
+        )
+    n_sec = draw(st.integers(min_value=1, max_value=3))
+    security = []
+    for i in range(n_sec):
+        tdes = draw(st.floats(min_value=50.0, max_value=800.0))
+        factor = draw(st.floats(min_value=1.5, max_value=10.0))
+        wcet = draw(st.floats(min_value=0.5, max_value=tdes / 10.0))
+        security.append(
+            SecurityTask(
+                name=f"s{i}", wcet=wcet, period_des=tdes,
+                period_max=tdes * factor,
+            )
+        )
+    platform = Platform(2)
+    partition = Partition(
+        platform, TaskSet(rt), {t.name: 0 for t in rt}
+    )
+    return SystemModel(
+        platform=platform,
+        rt_partition=partition,
+        security_tasks=TaskSet(security),
+    )
+
+
+# -- RT partition heuristics --------------------------------------------------
+
+
+@pytest.mark.parametrize("heuristic", HEURISTICS)
+@pytest.mark.parametrize("ordering", ORDERINGS)
+@given(tasks=rt_tasksets(), admission=st.sampled_from(ADMISSION_TESTS))
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_partition_respects_admission_on_every_core(
+    heuristic, ordering, tasks, admission
+):
+    partition = try_partition_tasks(
+        tasks,
+        Platform(2),
+        heuristic=heuristic,
+        admission=admission,
+        ordering=ordering,
+    )
+    if partition is None:
+        return  # the heuristic may legitimately fail; only success binds
+    test = get_admission_test(admission)
+    for core in partition.platform:
+        assert test(partition.tasks_on(core)), (
+            f"{heuristic}/{ordering}: core {core} violates {admission}"
+        )
+    assert set(partition.as_mapping()) == {t.name for t in tasks}
+
+
+# -- every registered allocator ----------------------------------------------
+
+
+@pytest.mark.parametrize("spec", allocator_names())
+@given(system=two_core_systems())
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_allocator_respects_period_bounds_and_schedulability(spec, system):
+    allocation = get_allocator(spec).allocate(system)
+    assert allocation.scheme == spec
+    if not allocation.schedulable:
+        return  # unschedulable is data, not an error
+    placed = {a.task.name for a in allocation.assignments}
+    assert placed == set(system.security_tasks.names)
+    for assignment in allocation.assignments:
+        task = assignment.task
+        assert (
+            task.period_des - 1e-6
+            <= assignment.period
+            <= task.period_max + 1e-6 * max(1.0, task.period_max)
+        ), f"{spec}: {task.name} period {assignment.period} out of bounds"
+        assert assignment.core in system.platform
+    # The linearised Eq. (6) verifier is the strictest; exact-RTA
+    # strategies are only bound by the (weaker) exact check.
+    exact = "exact" in spec
+    verdict = verify_allocation(system, allocation, exact=exact)
+    assert verdict.ok, f"{spec}: {verdict.format()}"

@@ -218,7 +218,9 @@ class TestSerialisationHelpers:
             assert build_allocator(spec).name == spec
 
     def test_build_allocator_unknown_spec(self):
-        with pytest.raises(ValidationError):
+        from repro.allocators import UnknownAllocatorError
+
+        with pytest.raises(UnknownAllocatorError, match="known allocators"):
             build_allocator("magic")
 
 

@@ -231,3 +231,116 @@ class TestScenarioExperiment:
         util = panel.comparison.series("best-fit/utilization/utilization")
         for rta_cell, util_cell in zip(rta, util):
             assert rta_cell.acceptance >= util_cell.acceptance
+
+
+class TestAllocatorAxis:
+    def test_parse_accepts_allocator_axis(self):
+        document = _good_document()
+        document["grid"]["allocator"] = ["hydra", "binpack-best-fit"]
+        config = parse_scenario(document)
+        assert config.allocator_axis
+        assert config.allocators == ("hydra", "binpack-best-fit")
+        assert config.combos[0] == {
+            "allocator": "hydra", "heuristic": "best-fit",
+            "ordering": "rm", "admission": "rta",
+        }
+        assert len(config.combos) == 2 * 4  # allocators × (h × o × a)
+
+    def test_absent_axis_keeps_legacy_combos_and_labels(self):
+        config = parse_scenario(_good_document())
+        assert not config.allocator_axis
+        assert config.allocators == ("hydra",)
+        # byte-identity anchor: no 'allocator' key leaks into the sweep
+        # params, so pre-existing cache entries stay valid
+        assert all("allocator" not in combo for combo in config.combos)
+        assert combo_label(**config.combos[0]) == "best-fit/rm/rta"
+
+    def test_unknown_allocator_named_with_known_list(self):
+        document = _good_document()
+        document["grid"]["allocator"] = ["hydra", "quantum-fit"]
+        with pytest.raises(ValidationError) as excinfo:
+            parse_scenario(document)
+        message = str(excinfo.value)
+        assert "quantum-fit" in message and "hydra" in message
+
+    def test_with_allocators_override(self):
+        config = parse_scenario(_good_document())
+        overridden = config.with_allocators(["binpack-worst-fit"])
+        assert overridden.allocator_axis
+        assert overridden.combos[0]["allocator"] == "binpack-worst-fit"
+        from repro.allocators import UnknownAllocatorError
+
+        with pytest.raises(UnknownAllocatorError, match="known allocators"):
+            config.with_allocators(["nope"])
+
+    def test_run_sweeps_strategies_on_shared_task_sets(self):
+        document = _good_document()
+        document["grid"] = {
+            "cores": [2],
+            "allocator": ["hydra", "first-feasible", "binpack-first-fit"],
+            "heuristic": ["best-fit"],
+            "ordering": ["utilization"],
+            "admission": ["rta"],
+        }
+        document["sweep"]["utilization"] = {
+            "start": 0.5, "stop": 0.75, "step": 0.25,
+        }
+        document["sweep"]["tasksets_per_point"] = 4
+        experiment = ScenarioExperiment(parse_scenario(document))
+        domain = experiment.run_domain(SMOKE)
+        (panel,) = domain.panels
+        labels = {c.scheme for c in panel.comparison.cells}
+        assert labels == {
+            "hydra|best-fit/utilization/rta",
+            "first-feasible|best-fit/utilization/rta",
+            "binpack-first-fit|best-fit/utilization/rta",
+        }
+        # HYDRA maximises tightness per task; greedy first-feasible can
+        # never beat it on the identical task sets.
+        hydra = panel.comparison.series("hydra|best-fit/utilization/rta")
+        first = panel.comparison.series(
+            "first-feasible|best-fit/utilization/rta"
+        )
+        for h_cell, f_cell in zip(hydra, first):
+            if h_cell.acceptance == f_cell.acceptance == 1.0:
+                assert h_cell.mean_tightness >= f_cell.mean_tightness - 1e-9
+
+    def test_singlecore_axis_builds_dedicated_core_system(self):
+        document = _good_document()
+        document["grid"] = {
+            "cores": [2],
+            "allocator": ["singlecore"],
+            "heuristic": ["best-fit"],
+            "ordering": ["utilization"],
+            "admission": ["rta"],
+        }
+        document["sweep"]["utilization"] = {
+            "start": 0.25, "stop": 0.5, "step": 0.25,
+        }
+        document["sweep"]["tasksets_per_point"] = 3
+        experiment = ScenarioExperiment(parse_scenario(document))
+        domain = experiment.run_domain(SMOKE)
+        (panel,) = domain.panels
+        cells = panel.comparison.series(
+            "singlecore|best-fit/utilization/rta"
+        )
+        assert cells  # ran end to end without AllocationError
+        assert any(c.acceptance > 0.0 for c in cells)
+
+    def test_singlecore_rejected_on_single_core_panels(self):
+        document = _good_document()
+        document["grid"]["cores"] = [1, 2]
+        document["grid"]["allocator"] = ["singlecore"]
+        with pytest.raises(ValidationError, match="at least 2 cores"):
+            parse_scenario(document)
+        # the --allocator override path hits the same validation
+        document = _good_document()
+        document["grid"]["cores"] = [1]
+        config = parse_scenario(document)
+        with pytest.raises(ValidationError, match="at least 2 cores"):
+            config.with_allocators(["singlecore"])
+
+    def test_with_allocators_rejects_duplicates(self):
+        config = parse_scenario(_good_document())
+        with pytest.raises(ValidationError, match="more than once"):
+            config.with_allocators(["hydra", "hydra"])

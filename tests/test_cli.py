@@ -323,3 +323,95 @@ class TestScalePrecedence:
         monkeypatch.setenv("REPRO_SCALE", "galactic")
         with pytest.raises(ValidationError, match="galactic"):
             main(["fig2"])
+
+
+class TestAllocatorsCommand:
+    def test_text_lists_every_registered_allocator(self, capsys):
+        from repro.allocators import allocator_names
+
+        assert main(["allocators"]) == 0
+        out = capsys.readouterr().out
+        for name in allocator_names():
+            assert name in out
+
+    def test_json_lists_specs(self, capsys):
+        from repro.allocators import allocator_names
+
+        assert main(["allocators", "--format", "json"]) == 0
+        specs = json.loads(capsys.readouterr().out)
+        assert [s["name"] for s in specs] == allocator_names()
+        assert all("title" in s and "tags" in s for s in specs)
+
+    def test_describe_one(self, capsys):
+        assert main(["allocators", "optimal[branch-bound]"]) == 0
+        out = capsys.readouterr().out
+        assert "optimal[branch-bound]" in out
+        assert "branch-and-bound" in out.lower()
+
+    def test_unknown_name_errors_with_known_list(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["allocators", "quantum"])
+        err = capsys.readouterr().err
+        assert "quantum" in err and "hydra" in err
+
+    def test_list_shows_descriptions(self, capsys):
+        from repro.experiments.registry import iter_experiments
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for experiment in iter_experiments():
+            spec = experiment.spec()
+            blurb = (spec.description or spec.title).splitlines()[0]
+            assert blurb[:40] in out
+        assert "allocators" in out  # the meta-command hint
+
+
+class TestSweepAllocatorOverride:
+    def _write_config(self, tmp_path, text: str):
+        path = tmp_path / "sweep.toml"
+        path.write_text(text)
+        return str(path)
+
+    _CONFIG = """
+    [sweep]
+    name = "alloc-mini"
+    tasksets_per_point = 2
+    utilization = { start = 0.5, stop = 0.5, step = 0.5 }
+
+    [grid]
+    cores = [2]
+    heuristic = ["best-fit"]
+    ordering = ["rm"]
+    admission = ["rta"]
+    """
+
+    def test_allocator_flag_adds_the_axis(self, tmp_path, capsys):
+        config = self._write_config(tmp_path, self._CONFIG)
+        assert main([
+            "sweep", "--config", config, "--scale", "smoke",
+            "--allocator", "hydra", "--allocator", "binpack-first-fit",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "hydra|best-fit/rm/rta" in out
+        assert "binpack-first-fit|best-fit/rm/rta" in out
+
+    def test_unknown_allocator_flag_errors_cleanly(self, tmp_path, capsys):
+        config = self._write_config(tmp_path, self._CONFIG)
+        with pytest.raises(SystemExit):
+            main([
+                "sweep", "--config", config, "--allocator", "quantum",
+            ])
+        err = capsys.readouterr().err
+        assert "quantum" in err and "known allocators" in err
+
+    def test_allocator_axis_in_toml(self, tmp_path, capsys):
+        config = self._write_config(
+            tmp_path,
+            self._CONFIG.replace(
+                'admission = ["rta"]',
+                'admission = ["rta"]\n    allocator = ["slackiest-core"]',
+            ),
+        )
+        assert main(["sweep", "--config", config, "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "slackiest-core|best-fit/rm/rta" in out

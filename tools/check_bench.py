@@ -13,7 +13,10 @@ pinned benchmarks cover the sweep engine's hot paths:
 * ``test_persistent_pool_fanout`` — multi-sweep fan-out through the
   persistent worker pool,
 * ``test_store_warm_read`` / ``test_store_put_many`` — the sharded
-  result store's batched read/write paths.
+  result store's batched read/write paths,
+* ``test_allocator_dispatch`` — the allocator-registry round trip a
+  sweep cell pays per task set (spec lookup → strategy → typed
+  AllocationResult).
 
 Raw means are meaningless across machines (the committed baseline was
 recorded on one box, CI runs on another), so every pinned mean is
@@ -26,7 +29,8 @@ Regenerate the baseline after an *intended* perf change::
 
     PYTHONPATH=src REPRO_SCALE=smoke python -m pytest \
         benchmarks/test_bench_micro.py benchmarks/test_bench_parallel.py \
-        benchmarks/test_bench_store.py --benchmark-json=/tmp/bench.json -q
+        benchmarks/test_bench_store.py benchmarks/test_bench_allocators.py \
+        --benchmark-json=/tmp/bench.json -q
     python tools/check_bench.py --slim /tmp/bench.json \
         benchmarks/baselines/baseline.json
 
@@ -47,6 +51,7 @@ PINNED = (
     "test_persistent_pool_fanout",
     "test_store_warm_read",
     "test_store_put_many",
+    "test_allocator_dispatch",
 )
 
 #: The normaliser: CPU-bound, stable, present in every gated run.
