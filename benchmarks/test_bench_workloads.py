@@ -1,0 +1,64 @@
+"""Benchmarks of the workload generation hot path.
+
+``test_workload_batch_generation`` is pinned by the CI benchmark gate
+(``tools/check_bench.py``): it measures the vectorised
+:func:`~repro.taskgen.synthetic.generate_workload_batch` route over a
+whole utilisation sweep — task counts drawn in two vectorised calls,
+one Randfixedsum table build per distinct task count (batched across
+all the different target sums), all periods from a single draw.  This
+is the route every workload-axis scenario point pays
+(``run_scenario_point`` generates each family's point batch through
+``generate_batch``); if the batching ever silently degenerates to
+per-instance work, paper-scale grids feel it first.
+
+``test_workload_per_instance_loop`` runs the identical recipe through
+the serial :func:`generate_workload` loop — not gated, but reported in
+the ``BENCH_*.json`` artifacts so the batched/serial ratio stays
+visible.  ``test_workload_dispatch`` pins nothing either; it tracks
+the registry round trip (spec → generator → instance) a scenario cell
+pays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.taskgen.synthetic import (
+    generate_workload,
+    generate_workload_batch,
+    utilization_sweep,
+)
+from repro.workloads import run_workload
+
+#: A 2-core paper sweep (39 points) × 3 task sets per point.
+TARGETS = [u for u in utilization_sweep(2) for _ in range(3)]
+
+
+def test_workload_batch_generation(benchmark):
+    """The vectorised batch route over a full sweep (gated)."""
+
+    def batch():
+        return generate_workload_batch(2, TARGETS, np.random.default_rng(7))
+
+    workloads = benchmark(batch)
+    assert len(workloads) == len(TARGETS)
+    assert all(len(w.rt_tasks) > 0 for w in workloads)
+
+
+def test_workload_per_instance_loop(benchmark):
+    """The serial per-instance route on the same targets (comparison)."""
+
+    def loop():
+        rng = np.random.default_rng(7)
+        return [generate_workload(2, u, rng) for u in TARGETS]
+
+    workloads = benchmark(loop)
+    assert len(workloads) == len(TARGETS)
+
+
+@pytest.mark.parametrize("spec", ["paper-synthetic", "uunifast"])
+def test_workload_dispatch(benchmark, spec):
+    """Registry spec → generator → one instance, end to end."""
+    workload = benchmark(run_workload, spec, 2, 1.3, 42)
+    assert workload.rt_tasks

@@ -8,8 +8,10 @@ paper end to end:
 * task/platform models and priority policies (:mod:`repro.model`);
 * schedulability analysis — DBF, linearised interference, exact RTA
   (:mod:`repro.analysis`);
-* workload synthesis — Randfixedsum, the synthetic recipe, the UAV case
-  study, the Tripwire/Bro suite (:mod:`repro.taskgen`);
+* workload synthesis — Randfixedsum (scalar + batched), UUniFast, the
+  synthetic recipe, the UAV case study, the Tripwire/Bro suite
+  (:mod:`repro.taskgen`) behind one registry-backed generator API
+  (:mod:`repro.workloads`);
 * real-time partitioning heuristics (:mod:`repro.partition`);
 * optimisation substrate — closed forms, a GP solver, a simplex LP
   solver, exhaustive and branch-and-bound searches (:mod:`repro.opt`);

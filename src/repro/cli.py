@@ -7,6 +7,8 @@ plugin) gets its own subcommand, plus three meta commands::
     repro-hydra list                         # what can I run?
     repro-hydra allocators                   # which strategies exist?
     repro-hydra allocators optimal           # describe one strategy
+    repro-hydra workloads                    # which workload families?
+    repro-hydra workloads uunifast           # describe one family
     repro-hydra table1
     repro-hydra fig2 --scale default --workers 4
     repro-hydra fig3 --scale paper --workers 8 --cache-dir results/cache
@@ -41,10 +43,12 @@ tabular view, and ``--output FILE`` writes either to a file instead of
 stdout.  ``repro-hydra sweep --config spec.toml`` runs a user-defined
 scenario grid (allocator × heuristic × ordering × admission × core
 count) with no driver code at all — see
-:mod:`repro.experiments.scenario`; ``--allocator NAME`` (repeatable)
-overrides the grid's allocator axis from the command line, and
-``repro-hydra allocators`` lists/describes every strategy registered
-with :mod:`repro.allocators`.
+:mod:`repro.experiments.scenario`; ``--allocator NAME`` and
+``--workload NAME`` (both repeatable) override the grid's allocator
+and workload axes from the command line, and ``repro-hydra
+allocators`` / ``repro-hydra workloads`` list/describe every strategy
+registered with :mod:`repro.allocators` and every workload family
+registered with :mod:`repro.workloads`.
 """
 
 from __future__ import annotations
@@ -73,7 +77,9 @@ __all__ = ["main", "build_parser"]
 DEFAULT_CACHE_DIR = ".repro-cache"
 
 #: Meta commands that are not registry experiments.
-_META_COMMANDS = ("list", "allocators", "all", "ablations", "sweep", "cache")
+_META_COMMANDS = (
+    "list", "allocators", "workloads", "all", "ablations", "sweep", "cache",
+)
 
 _FORMATS = ("text", "json", "csv")
 
@@ -204,6 +210,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="'text' for a table, 'json' for machine-readable specs",
     )
 
+    workloads = subparsers.add_parser(
+        "workloads",
+        help="list or describe the registered workload families",
+        description=(
+            "Without NAME: one line per registered workload generator "
+            "(what a TOML grid's 'workload' axis and --workload "
+            "accept). With NAME: the full description of one family."
+        ),
+    )
+    workloads.add_argument(
+        "name",
+        nargs="?",
+        default=None,
+        metavar="NAME",
+        help="describe this workload family instead of listing all",
+    )
+    workloads.add_argument(
+        "--format",
+        dest="output_format",
+        default="text",
+        choices=("text", "json"),
+        help="'text' for a table, 'json' for machine-readable specs",
+    )
+
     for experiment in iter_experiments():
         spec = experiment.spec()
         sub = subparsers.add_parser(
@@ -244,6 +274,17 @@ def build_parser() -> argparse.ArgumentParser:
             "sweep this allocation strategy (repeatable); overrides the "
             "config's 'allocator' axis — see 'repro-hydra allocators' "
             "for what is registered"
+        ),
+    )
+    sweep.add_argument(
+        "--workload",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help=(
+            "generate task sets with this workload family (repeatable); "
+            "overrides the config's 'workload' axis — see 'repro-hydra "
+            "workloads' for what is registered"
         ),
     )
     _add_run_options(sweep)
@@ -299,6 +340,8 @@ def _selected_experiments(args) -> list["Experiment"]:
         config = load_scenario(args.config)
         if args.allocator:
             config = config.with_allocators(args.allocator)
+        if args.workload:
+            config = config.with_workloads(args.workload)
         return [ScenarioExperiment(config)]
     return [get_experiment(args.experiment)]
 
@@ -339,18 +382,26 @@ def _run_list(args) -> int:
         )
     )
     print(
-        "\nmeta commands: allocators, ablations, all, "
+        "\nmeta commands: allocators, workloads, ablations, all, "
         "sweep --config FILE (TOML scenario grid)"
     )
     return 0
 
 
-def _run_allocators(args) -> int:
-    from repro.allocators import get_allocator_info, iter_allocator_info
+def _run_registry_listing(
+    args,
+    get_info,
+    iter_info,
+    command: str,
+    flag: str,
+    list_title: str,
+) -> int:
+    """Shared list/describe body of the ``allocators`` and
+    ``workloads`` meta commands (same UX, different registry)."""
     from repro.experiments.reporting import format_table
 
     if args.name is not None:
-        info = get_allocator_info(args.name)  # typed error when unknown
+        info = get_info(args.name)  # typed error when unknown
         if args.output_format == "json":
             print(json.dumps(info.to_dict(), indent=2))
             return 0
@@ -360,12 +411,12 @@ def _run_allocators(args) -> int:
         if info.description:
             print(f"\n{info.description}")
         print(
-            "\nsweep it: repro-hydra sweep --config FILE "
-            f"--allocator {info.name}"
+            f"\nsweep it: repro-hydra sweep --config FILE "
+            f"{flag} {info.name}"
         )
         return 0
 
-    infos = list(iter_allocator_info())
+    infos = list(iter_info())
     if args.output_format == "json":
         print(json.dumps([i.to_dict() for i in infos], indent=2))
         return 0
@@ -373,16 +424,43 @@ def _run_allocators(args) -> int:
         format_table(
             ["name", "title", "tags"],
             [(i.name, _one_line(i.title), ",".join(i.tags)) for i in infos],
-            title=(
-                "Registered allocators (sweep with a TOML 'allocator' "
-                "axis or --allocator NAME)"
-            ),
+            title=list_title,
         )
     )
-    print(
-        "\ndescribe one: repro-hydra allocators NAME"
-    )
+    print(f"\ndescribe one: repro-hydra {command} NAME")
     return 0
+
+
+def _run_allocators(args) -> int:
+    from repro.allocators import get_allocator_info, iter_allocator_info
+
+    return _run_registry_listing(
+        args,
+        get_allocator_info,
+        iter_allocator_info,
+        command="allocators",
+        flag="--allocator",
+        list_title=(
+            "Registered allocators (sweep with a TOML 'allocator' "
+            "axis or --allocator NAME)"
+        ),
+    )
+
+
+def _run_workloads(args) -> int:
+    from repro.workloads import get_workload_info, iter_workload_info
+
+    return _run_registry_listing(
+        args,
+        get_workload_info,
+        iter_workload_info,
+        command="workloads",
+        flag="--workload",
+        list_title=(
+            "Registered workload families (sweep with a TOML "
+            "'workload' axis or --workload NAME)"
+        ),
+    )
 
 
 def _run_cache(args) -> int:
@@ -485,6 +563,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.experiment == "allocators":
         try:
             return _run_allocators(args)
+        except ConfigError as exc:
+            parser.error(str(exc))
+    if args.experiment == "workloads":
+        try:
+            return _run_workloads(args)
         except ConfigError as exc:
             parser.error(str(exc))
     if args.experiment == "cache":

@@ -34,7 +34,11 @@ from repro.core.hydra import HydraAllocator
 from repro.model.priority import security_priority_order
 from repro.model.system import SystemModel
 from repro.model.task import SecurityTask
-from repro.model.transform import scale_security_wcets, with_extra_cores
+from repro.model.transform import (
+    scale_security_wcets,
+    with_extra_cores,
+    with_period_max,
+)
 from repro.opt.period import adapt_period
 
 __all__ = ["DesignHint", "DesignReport", "diagnose", "max_security_scale"]
@@ -129,17 +133,40 @@ def diagnose(
     hints: list[DesignHint] = []
 
     # Remedy 1: stretch T_max to the smallest feasible period anywhere.
-    best_period = min(
-        (
-            max(
-                failed.period_des,
-                (failed.wcet + env.total_wcet) / (1.0 - env.utilization),
+    # Security priority is T_max-ascending, so the stretch itself can
+    # demote the task past peers whose T_max lies inside the stretch —
+    # those peers then place *before* it and eat the capacity the first
+    # estimate assumed was free.  Iterate to a fixed point: recompute
+    # the requirement with the task at the priority position its new
+    # T_max implies, until the estimate stops moving (each round can
+    # only demote further, so at most one round per security task).
+    def _requirement(envs) -> float:
+        return min(
+            (
+                max(
+                    failed.period_des,
+                    (failed.wcet + env.total_wcet)
+                    / (1.0 - env.utilization),
+                )
+                for env in envs.values()
+                if env.utilization < 1.0
+            ),
+            default=math.inf,
+        )
+
+    best_period = _requirement(environments)
+    for _ in range(len(system.security_tasks)):
+        if not math.isfinite(best_period):
+            break
+        stretched = with_period_max(system, failed.name, best_period)
+        stretched_requirement = _requirement(
+            _failure_environments(
+                stretched, stretched.security_tasks[failed.name]
             )
-            for env in environments.values()
-            if env.utilization < 1.0
-        ),
-        default=math.inf,
-    )
+        )
+        if stretched_requirement <= best_period * (1.0 + 1e-12):
+            break
+        best_period = stretched_requirement
     if math.isfinite(best_period):
         hints.append(
             DesignHint(

@@ -49,6 +49,8 @@ __all__ = [
     "fig3_mini_aggregate",
     "table1_mini_spec",
     "table1_mini_aggregate",
+    "workload_mini_spec",
+    "workload_mini_aggregate",
 ]
 
 
@@ -96,6 +98,42 @@ def table1_mini_spec() -> SweepSpec:
     from repro.experiments.table1 import table1_sweep_spec
 
     return table1_sweep_spec(2)
+
+
+def workload_mini_spec() -> SweepSpec:
+    """A 3-family workload-axis scenario sweep, 3 points × 6 task sets.
+
+    Pins the workload registry end to end: three families (the legacy
+    recipe, the UUniFast splitter, the harmonic period regime), each
+    generating its point batch through the vectorised
+    ``generate_batch`` route in grid order from the point's single
+    stream, with cell labels carrying the ``workload::`` prefix.
+    """
+    from repro.experiments.scenario import ScenarioExperiment, parse_scenario
+
+    document = {
+        "sweep": {
+            "name": "workload-mini",
+            "seed": 2018,
+            "tasksets_per_point": 6,
+            # high enough that rejections and stretched periods appear:
+            # a fixture where every cell is a full-acceptance 1.000
+            # could not discriminate generation changes at all.
+            "utilization": {"start": 0.45, "stop": 0.95, "step": 0.25},
+        },
+        "grid": {
+            "cores": [2],
+            "workload": [
+                "paper-synthetic", "uunifast", "harmonic-periods",
+            ],
+            "heuristic": ["best-fit"],
+            "ordering": ["utilization"],
+            "admission": ["rta"],
+        },
+    }
+    experiment = ScenarioExperiment(parse_scenario(document))
+    (spec,) = experiment.sweeps(SCALES["smoke"])
+    return spec
 
 
 # -- the aggregate summarisers -----------------------------------------------
@@ -153,12 +191,42 @@ def table1_mini_aggregate(spec: SweepSpec, payloads) -> list[dict[str, Any]]:
     return list(payload["rows"])
 
 
+def workload_mini_aggregate(spec: SweepSpec, payloads) -> list[dict[str, Any]]:
+    return [
+        {
+            "utilization": point["utilization"],
+            "cells": {
+                label: {
+                    "accepted": cell["accepted"],
+                    "total": cell["total"],
+                }
+                for label, cell in sorted(payload["cells"].items())
+            },
+        }
+        for point, payload in zip(spec.points, payloads)
+    ]
+
+
 # -- registry-driven fixture collection --------------------------------------
+
+
+#: Fixtures with no home experiment in the registry (scenario sweeps
+#: are built from TOML, not registered by name) — collected alongside
+#: the registry-declared ones.
+def _extra_fixtures() -> dict[str, GoldenFixture]:
+    return {
+        "workload_mini": GoldenFixture(
+            name="workload_mini",
+            build_spec=workload_mini_spec,
+            summarize=workload_mini_aggregate,
+        ),
+    }
 
 
 def golden_fixtures() -> dict[str, GoldenFixture]:
     """Every registered experiment's golden fixture, keyed by fixture
-    name (one JSON file each under ``tests/experiments/golden/``)."""
+    name (one JSON file each under ``tests/experiments/golden/``),
+    plus the scenario-sweep extras (:func:`workload_mini_spec`)."""
     from repro.experiments.registry import iter_experiments
 
     fixtures: dict[str, GoldenFixture] = {}
@@ -166,6 +234,7 @@ def golden_fixtures() -> dict[str, GoldenFixture]:
         fixture = experiment.golden_fixture()
         if fixture is not None:
             fixtures[fixture.name] = fixture
+    fixtures.update(_extra_fixtures())
     return fixtures
 
 

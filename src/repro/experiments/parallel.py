@@ -240,7 +240,7 @@ def register_point_runner(
 #: ``_execute_point_job`` by reference), so runners living elsewhere —
 #: e.g. the ``scenario`` runner — are resolved by importing their home
 #: module on the first miss.
-_RUNNER_MODULES = ("repro.experiments.scenario",)
+_RUNNER_MODULES = ("repro.experiments.scenario", "repro.workloads.sample")
 
 
 def get_point_runner(kind: str) -> PointRunner:

@@ -23,18 +23,27 @@ engine (parallel, cached, byte-deterministic) as the paper figures::
     # optional: sweep the *allocation strategy* itself — any spec
     # registered in repro.allocators (see 'repro-hydra allocators')
     allocator = ["hydra", "optimal[branch-bound]", "binpack-best-fit"]
+    # optional: sweep the *workload family* too — any spec registered
+    # in repro.workloads (see 'repro-hydra workloads')
+    workload = ["paper-synthetic", "uunifast", "heavy-security"]
 
 Run it with ``repro-hydra sweep --config scenario.toml``.  Each grid
 cell is labelled ``heuristic/ordering/admission`` (prefixed with the
-allocator spec when an ``allocator`` axis is present) and reported as
-an acceptance + mean-tightness comparison per core count.  Every
+allocator spec when an ``allocator`` axis is present, and with
+``workload::`` when a ``workload`` axis is) and reported as an
+acceptance + mean-tightness comparison per core count.  Every
 combination evaluates the *same* generated task sets at each
 utilisation point, so cells are directly comparable.  The ``allocator``
 axis is the design space the paper is about: without it the sweep runs
 HYDRA (the paper's fixed choice); with it, every named strategy —
 heuristics, LP/GP-backed solvers, optimal searches — competes on
-identical workloads.  The ``singlecore`` strategy implies its own
-real-time packing (M−1 cores + a dedicated security core) and the
+identical workloads.  The ``workload`` axis varies the *supply side*:
+without it every cell generates with the paper's Sec. IV-B recipe
+(labels and cache keys byte-identical to earlier releases); with it,
+each named family — UUniFast splitters, period regimes, the
+heavy-security profile, the fixed case studies — generates its own
+shared task sets per point.  The ``singlecore`` strategy implies its
+own real-time packing (M−1 cores + a dedicated security core) and the
 runner prepares that system automatically.
 
 Scenario sweeps ride the same execution/storage layer as the paper
@@ -89,12 +98,16 @@ def combo_label(
     ordering: str,
     admission: str,
     allocator: str | None = None,
+    workload: str | None = None,
 ) -> str:
-    """Scheme label of one grid cell, e.g. ``best-fit/rm/rta`` — or
-    ``hydra|best-fit/rm/rta`` when the sweep has an allocator axis."""
+    """Scheme label of one grid cell, e.g. ``best-fit/rm/rta`` —
+    prefixed ``hydra|…`` when the sweep has an allocator axis and
+    ``uunifast::…`` when it has a workload axis."""
     label = f"{heuristic}/{ordering}/{admission}"
     if allocator is not None:
-        return f"{allocator}|{label}"
+        label = f"{allocator}|{label}"
+    if workload is not None:
+        label = f"{workload}::{label}"
     return label
 
 
@@ -117,6 +130,12 @@ class ScenarioConfig:
     #: labels and cache keys.
     allocators: tuple[str, ...] = ("hydra",)
     allocator_axis: bool = False
+    #: Workload families (registry specs).  ``workload_axis`` is
+    #: ``False`` when the config never named a ``workload`` axis: the
+    #: sweep then generates with the paper recipe exactly as before,
+    #: with unchanged cell labels and cache keys.
+    workloads: tuple[str, ...] = ("paper-synthetic",)
+    workload_axis: bool = False
     seed: int | None = None
     tasksets_per_point: int | None = None
     utilization_start: float | None = None
@@ -144,19 +163,24 @@ class ScenarioConfig:
         """All grid cells, in grid order.
 
         Each cell is a ``{heuristic, ordering, admission}`` dict, with
-        an ``allocator`` key when the sweep has an allocator axis.
+        an ``allocator`` key when the sweep has an allocator axis and a
+        ``workload`` key when it has a workload axis.
         """
         cells = []
-        for alloc in self.allocators:
-            for h in self.heuristics:
-                for o in self.orderings:
-                    for a in self.admissions:
-                        cell = {
-                            "heuristic": h, "ordering": o, "admission": a,
-                        }
-                        if self.allocator_axis:
-                            cell = {"allocator": alloc, **cell}
-                        cells.append(cell)
+        for wl in self.workloads:
+            for alloc in self.allocators:
+                for h in self.heuristics:
+                    for o in self.orderings:
+                        for a in self.admissions:
+                            cell = {
+                                "heuristic": h, "ordering": o,
+                                "admission": a,
+                            }
+                            if self.allocator_axis:
+                                cell = {"allocator": alloc, **cell}
+                            if self.workload_axis:
+                                cell = {"workload": wl, **cell}
+                            cells.append(cell)
         return cells
 
     def with_allocators(self, allocators: Sequence[str]) -> "ScenarioConfig":
@@ -179,6 +203,30 @@ class ScenarioConfig:
             seen.add(spec)
         return dataclasses.replace(
             self, allocators=tuple(allocators), allocator_axis=True
+        )
+
+    def with_workloads(self, workloads: Sequence[str]) -> "ScenarioConfig":
+        """A copy sweeping ``workloads`` (the ``--workload`` override).
+
+        Validates like the TOML axis: every spec must be registered
+        (unknown names raise the registry's typed
+        :class:`~repro.workloads.UnknownWorkloadError` listing what is
+        known) and duplicates are rejected, not silently
+        double-counted.
+        """
+        from repro.workloads import get_workload_info
+
+        seen: set[str] = set()
+        for spec in workloads:
+            get_workload_info(spec)
+            if spec in seen:
+                raise ValidationError(
+                    f"invalid scenario config: --workload {spec!r} "
+                    f"given more than once"
+                )
+            seen.add(spec)
+        return dataclasses.replace(
+            self, workloads=tuple(workloads), workload_axis=True
         )
 
 
@@ -220,7 +268,10 @@ def parse_scenario(document: Mapping[str, Any]) -> ScenarioConfig:
         f"unknown [sweep] key(s) {sorted(unknown)}; expected "
         f"{sorted(known_sweep)}",
     )
-    known_grid = {"cores", "heuristic", "ordering", "admission", "allocator"}
+    known_grid = {
+        "cores", "heuristic", "ordering", "admission", "allocator",
+        "workload",
+    }
     unknown = set(grid) - known_grid
     _require(
         not unknown,
@@ -310,6 +361,14 @@ def parse_scenario(document: Mapping[str, Any]) -> ScenarioConfig:
     else:
         allocators = ("hydra",)
 
+    workload_axis = "workload" in grid
+    if workload_axis:
+        from repro.workloads import workload_names
+
+        workloads = axis("workload", workload_names())
+    else:
+        workloads = ("paper-synthetic",)
+
     return ScenarioConfig(
         name=name,
         title=str(sweep.get("title", "")),
@@ -320,6 +379,8 @@ def parse_scenario(document: Mapping[str, Any]) -> ScenarioConfig:
         admissions=axis("admission", _ADMISSIONS),
         allocators=allocators,
         allocator_axis=allocator_axis,
+        workloads=workloads,
+        workload_axis=workload_axis,
         seed=seed,
         tasksets_per_point=tasksets,
         utilization_start=(
@@ -365,9 +426,21 @@ def run_scenario_point(
 
     The allocation strategy is resolved through the
     :mod:`repro.allocators` registry (``"hydra"`` when the sweep has no
-    allocator axis).  The ``singlecore`` strategy implies its own
-    system shape — real-time tasks packed onto ``M−1`` cores, the last
-    core dedicated to security — so it is prepared via
+    allocator axis) and the task-set generator through the
+    :mod:`repro.workloads` registry (``"paper-synthetic"`` — the
+    legacy recipe, byte-identical — when the sweep has no workload
+    axis).  Every combo sharing a workload family evaluates the *same*
+    generated task sets.  With a workload axis, each family generates
+    its whole point batch in one vectorised
+    :meth:`~repro.workloads.api.WorkloadGenerator.generate_batch`
+    call, families in grid order from the point's single stream —
+    *appending* a family to the axis therefore never perturbs the
+    earlier families' task sets (mirroring how appending utilisation
+    points keeps earlier streams valid).  Without the axis the runner
+    keeps the legacy per-instance loop, byte-identical to the
+    pre-workload-axis payloads.  The ``singlecore`` strategy
+    implies its own system shape — real-time tasks packed onto ``M−1``
+    cores, the last core dedicated to security — so it is prepared via
     :func:`~repro.core.singlecore.build_singlecore_system` with the
     combo's heuristic/ordering/admission; every other strategy runs on
     the all-cores partition.
@@ -376,7 +449,7 @@ def run_scenario_point(
     from repro.core.singlecore import build_singlecore_system
     from repro.model.system import SystemModel
     from repro.partition.heuristics import try_partition_tasks
-    from repro.taskgen.synthetic import generate_workload
+    from repro.workloads import get_workload
 
     platform = Platform(int(params["cores"]))
     combos = [dict(c) for c in params["combos"]]
@@ -384,48 +457,70 @@ def run_scenario_point(
         spec: get_allocator(spec)
         for spec in {c.get("allocator", "hydra") for c in combos}
     }
+    workload_specs: list[str] = []
+    for combo in combos:
+        spec = combo.get("workload", "paper-synthetic")
+        if spec not in workload_specs:
+            workload_specs.append(spec)
+    generators = {spec: get_workload(spec) for spec in workload_specs}
     cells = {
         combo_label(**c): {"accepted": 0, "total": 0, "tightness_sum": 0.0}
         for c in combos
     }
-    for _ in range(int(params["tasksets_per_point"])):
-        workload = generate_workload(
-            platform, float(point["utilization"]), rng
-        )
-        for combo in combos:
-            cell = cells[combo_label(**combo)]
-            cell["total"] += 1
-            spec = combo.get("allocator", "hydra")
-            if spec == "singlecore":
-                system = build_singlecore_system(
-                    platform,
-                    workload.rt_tasks,
-                    workload.security_tasks,
-                    heuristic=combo["heuristic"],
-                    admission=combo["admission"],
-                    ordering=combo["ordering"],
-                )
-                if system is None:
-                    continue
+    tasksets = int(params["tasksets_per_point"])
+    utilization = float(point["utilization"])
+    workload_axis = any("workload" in c for c in combos)
+    if workload_axis:
+        batches = {
+            spec: generators[spec].generate_batch(
+                platform, [utilization] * tasksets, rng
+            )
+            for spec in workload_specs
+        }
+    for index in range(tasksets):
+        for wl_spec in workload_specs:
+            if workload_axis:
+                workload = batches[wl_spec][index]
             else:
-                partition = try_partition_tasks(
-                    workload.rt_tasks,
-                    platform,
-                    heuristic=combo["heuristic"],
-                    admission=combo["admission"],
-                    ordering=combo["ordering"],
+                workload = generators[wl_spec].generate(
+                    platform, utilization, rng
                 )
-                if partition is None:
+            for combo in combos:
+                if combo.get("workload", "paper-synthetic") != wl_spec:
                     continue
-                system = SystemModel(
-                    platform=platform,
-                    rt_partition=partition,
-                    security_tasks=workload.security_tasks,
-                )
-            allocation = allocators[spec].allocate(system)
-            if allocation.schedulable:
-                cell["accepted"] += 1
-                cell["tightness_sum"] += allocation.mean_tightness()
+                cell = cells[combo_label(**combo)]
+                cell["total"] += 1
+                spec = combo.get("allocator", "hydra")
+                if spec == "singlecore":
+                    system = build_singlecore_system(
+                        platform,
+                        workload.rt_tasks,
+                        workload.security_tasks,
+                        heuristic=combo["heuristic"],
+                        admission=combo["admission"],
+                        ordering=combo["ordering"],
+                    )
+                    if system is None:
+                        continue
+                else:
+                    partition = try_partition_tasks(
+                        workload.rt_tasks,
+                        platform,
+                        heuristic=combo["heuristic"],
+                        admission=combo["admission"],
+                        ordering=combo["ordering"],
+                    )
+                    if partition is None:
+                        continue
+                    system = SystemModel(
+                        platform=platform,
+                        rt_partition=partition,
+                        security_tasks=workload.security_tasks,
+                    )
+                allocation = allocators[spec].allocate(system)
+                if allocation.schedulable:
+                    cell["accepted"] += 1
+                    cell["tightness_sum"] += allocation.mean_tightness()
     return {"cells": cells}
 
 
@@ -584,6 +679,8 @@ class ScenarioExperiment(Experiment):
         axes = "heuristic/ordering/admission"
         if self.config.allocator_axis:
             axes = f"allocator|{axes}"
+        if self.config.workload_axis:
+            axes = f"workload::{axes}"
         blocks = [
             format_allocator_comparison(
                 panel.comparison,

@@ -3,8 +3,10 @@
 The paper bounds real-time periods to ``[10, 1000]`` ms and security
 desired periods to ``[1000, 3000]`` ms without naming a distribution;
 its companion literature ([22], [23]) samples periods log-uniformly so
-that every order of magnitude is equally represented.  Both log-uniform
-(default) and plain uniform policies are provided, plus an optional
+that every order of magnitude is equally represented.  Three policies
+are provided — log-uniform (default), plain uniform, and harmonic
+(power-of-two multiples of the lower bound, so every period divides
+every longer one and hyperperiods stay tiny) — plus an optional
 rounding grid so simulated hyperperiods stay manageable.
 """
 
@@ -36,7 +38,9 @@ def sample_periods(
     rng:
         Numpy random generator.
     distribution:
-        ``"log-uniform"`` (default) or ``"uniform"``.
+        ``"log-uniform"`` (default), ``"uniform"``, or ``"harmonic"``
+        (each period is ``low · 2^k`` for a uniformly drawn ``k`` with
+        ``low · 2^k ≤ high``).
     granularity:
         When given, round each period *down* to the nearest positive
         multiple of this value (clamped to ``low``); keeps discrete-event
@@ -50,10 +54,13 @@ def sample_periods(
         values = np.exp(rng.uniform(np.log(low), np.log(high), size=n))
     elif distribution == "uniform":
         values = rng.uniform(low, high, size=n)
+    elif distribution == "harmonic":
+        k_max = int(np.floor(np.log2(high / low)))
+        values = low * np.exp2(rng.integers(0, k_max + 1, size=n))
     else:
         raise ValidationError(
             f"unknown distribution {distribution!r}; expected "
-            f"'log-uniform' or 'uniform'"
+            f"'log-uniform', 'uniform', or 'harmonic'"
         )
     if granularity is not None:
         if granularity <= 0:

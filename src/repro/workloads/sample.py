@@ -1,0 +1,39 @@
+"""The ``workload-sample`` point runner: generate, serialise, return.
+
+The smallest possible sweep kind — one generated instance per point,
+returned as the plain-JSON form of :func:`workload_to_dict`.  It
+exists so workload generation itself rides the engine's determinism
+contract: the property suite byte-compares serial, pooled, and cached
+runs of the same spec, which proves a generator draws only from the
+stream it is handed (a generator touching global randomness or worker
+state cannot pass).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.experiments.parallel import register_point_runner
+from repro.workloads.api import workload_to_dict
+from repro.workloads.registry import run_workload
+
+__all__ = ["run_workload_sample_point"]
+
+
+@register_point_runner("workload-sample")
+def run_workload_sample_point(
+    point: Mapping[str, Any],
+    params: Mapping[str, Any],
+    rng: np.random.Generator,
+) -> dict[str, Any]:
+    """One generated instance of ``params["workload"]`` at the point's
+    utilisation, serialised for byte comparison."""
+    workload = run_workload(
+        params["workload"],
+        int(params["cores"]),
+        float(point["utilization"]),
+        rng,
+    )
+    return {"workload": workload_to_dict(workload)}

@@ -74,6 +74,42 @@ class TestDiagnose:
         )
         assert HydraAllocator().allocate(fixed).schedulable
 
+    def test_stretch_hint_sufficient_when_stretch_demotes_priority(self):
+        """Regression (hypothesis find): security priority is
+        T_max-ascending, so stretching the failed task's T_max can
+        demote it past peers whose T_max lies inside the stretch —
+        those peers then place first and eat the capacity the naive
+        single-pass requirement assumed free.  The hint must iterate
+        the requirement to a fixed point over that reordering."""
+        import numpy as np
+
+        from repro.experiments.runner import build_hydra_system
+        from repro.model.transform import with_period_max
+        from repro.taskgen.synthetic import SyntheticConfig, \
+            generate_workload
+
+        config = SyntheticConfig(
+            security_task_count=(2, 5), period_max_factor=2.0
+        )
+        workload = generate_workload(
+            2, 1.8984375, np.random.default_rng(163), config
+        )
+        system = build_hydra_system(workload)
+        report = diagnose(system)
+        assert not report.schedulable
+        stretch = next(
+            h for h in report.hints if h.kind == "stretch-period-max"
+        )
+        fixed_report = diagnose(
+            with_period_max(
+                system, stretch.task, stretch.required * (1 + 1e-9)
+            )
+        )
+        assert (
+            fixed_report.schedulable
+            or fixed_report.failed_task != stretch.task
+        )
+
     def test_wcet_hint_absent_when_no_wcet_would_fit(self):
         # tight_system: C ≤ (1 − .9)·80 − 9 = −1 → no positive WCET
         # fits, so no reduce-wcet hint may be offered.

@@ -344,3 +344,245 @@ class TestAllocatorAxis:
         config = parse_scenario(_good_document())
         with pytest.raises(ValidationError, match="more than once"):
             config.with_allocators(["hydra", "hydra"])
+
+
+class TestWorkloadAxis:
+    def test_parse_accepts_workload_axis(self):
+        document = _good_document()
+        document["grid"]["workload"] = ["paper-synthetic", "uunifast"]
+        config = parse_scenario(document)
+        assert config.workload_axis
+        assert config.workloads == ("paper-synthetic", "uunifast")
+        assert config.combos[0] == {
+            "workload": "paper-synthetic", "heuristic": "best-fit",
+            "ordering": "rm", "admission": "rta",
+        }
+        assert len(config.combos) == 2 * 4  # workloads × (h × o × a)
+
+    def test_workload_composes_with_allocator_axis(self):
+        document = _good_document()
+        document["grid"]["workload"] = ["uunifast"]
+        document["grid"]["allocator"] = ["hydra", "first-feasible"]
+        config = parse_scenario(document)
+        assert config.combos[0] == {
+            "workload": "uunifast", "allocator": "hydra",
+            "heuristic": "best-fit", "ordering": "rm", "admission": "rta",
+        }
+        assert combo_label(**config.combos[0]) == (
+            "uunifast::hydra|best-fit/rm/rta"
+        )
+
+    def test_absent_axis_keeps_pr4_combos_labels_and_cache_keys(self):
+        """Byte-identity anchor: without a ``workload`` axis the sweep
+        spec — params, combos, key payloads — must match the PR 4
+        shape exactly, so pre-existing cache entries stay valid."""
+        config = parse_scenario(_good_document())
+        assert not config.workload_axis
+        assert config.workloads == ("paper-synthetic",)
+        assert all("workload" not in combo for combo in config.combos)
+        assert combo_label(**config.combos[0]) == "best-fit/rm/rta"
+
+        experiment = ScenarioExperiment(config)
+        spec = experiment.sweeps(SMOKE)[0]
+        # exactly the PR 4 params surface: nothing workload-flavoured
+        assert set(spec.params) == {"cores", "tasksets_per_point", "combos"}
+        # and the cache key payload of point 0, pinned field by field
+        from repro.experiments.store import CACHE_FORMAT
+
+        assert spec.key_payload(0) == {
+            "format": CACHE_FORMAT,
+            "kind": "scenario",
+            "seed": SMOKE.seed + 2,
+            "index": 0,
+            "point": dict(spec.points[0]),
+            "params": {
+                "cores": 2,
+                "tasksets_per_point": 3,
+                "combos": [
+                    {"heuristic": h, "ordering": o, "admission": "rta"}
+                    for h in ("best-fit", "worst-fit")
+                    for o in ("rm", "utilization")
+                ],
+            },
+        }
+
+    def test_absent_axis_payloads_match_pre_registry_bytes(self):
+        """The registry indirection (paper-synthetic) must not change a
+        byte of an axis-less scenario sweep's payloads."""
+        from repro.experiments.parallel import execute_point
+        from repro.experiments.scenario import run_scenario_point
+        from repro.taskgen.synthetic import generate_workload
+
+        experiment = _mini_experiment()
+        (spec,) = experiment.sweeps(SMOKE)
+        payload = execute_point(spec, 1)
+
+        # re-run the PR 4 logic inline: direct generate_workload calls
+        def legacy_point(point, params, rng):
+            from repro.allocators import get_allocator
+            from repro.model.platform import Platform
+            from repro.model.system import SystemModel
+            from repro.partition.heuristics import try_partition_tasks
+
+            platform = Platform(int(params["cores"]))
+            combos = [dict(c) for c in params["combos"]]
+            hydra = get_allocator("hydra")
+            cells = {
+                combo_label(**c): {
+                    "accepted": 0, "total": 0, "tightness_sum": 0.0,
+                }
+                for c in combos
+            }
+            for _ in range(int(params["tasksets_per_point"])):
+                workload = generate_workload(
+                    platform, float(point["utilization"]), rng
+                )
+                for combo in combos:
+                    cell = cells[combo_label(**combo)]
+                    cell["total"] += 1
+                    partition = try_partition_tasks(
+                        workload.rt_tasks,
+                        platform,
+                        heuristic=combo["heuristic"],
+                        admission=combo["admission"],
+                        ordering=combo["ordering"],
+                    )
+                    if partition is None:
+                        continue
+                    system = SystemModel(
+                        platform=platform,
+                        rt_partition=partition,
+                        security_tasks=workload.security_tasks,
+                    )
+                    allocation = hydra.allocate(system)
+                    if allocation.schedulable:
+                        cell["accepted"] += 1
+                        cell["tightness_sum"] += (
+                            allocation.mean_tightness()
+                        )
+            return {"cells": cells}
+
+        assert run_scenario_point is not legacy_point
+        expected = legacy_point(
+            dict(spec.points[1]), dict(spec.params), spec.rng_for(1)
+        )
+        assert json.dumps(payload, sort_keys=True) == json.dumps(
+            expected, sort_keys=True
+        )
+
+    def test_unknown_workload_named_with_known_list(self):
+        document = _good_document()
+        document["grid"]["workload"] = ["paper-synthetic", "quantum-foam"]
+        with pytest.raises(ValidationError) as excinfo:
+            parse_scenario(document)
+        message = str(excinfo.value)
+        assert "quantum-foam" in message and "paper-synthetic" in message
+
+    def test_duplicate_workload_values_rejected(self):
+        document = _good_document()
+        document["grid"]["workload"] = ["uunifast", "uunifast"]
+        with pytest.raises(ValidationError, match="duplicate"):
+            parse_scenario(document)
+
+    def test_with_workloads_override(self):
+        config = parse_scenario(_good_document())
+        overridden = config.with_workloads(["heavy-security"])
+        assert overridden.workload_axis
+        assert overridden.combos[0]["workload"] == "heavy-security"
+        from repro.workloads import UnknownWorkloadError
+
+        with pytest.raises(UnknownWorkloadError, match="known workloads"):
+            config.with_workloads(["nope"])
+
+    def test_with_workloads_rejects_duplicates(self):
+        config = parse_scenario(_good_document())
+        with pytest.raises(ValidationError, match="more than once"):
+            config.with_workloads(["uunifast", "uunifast"])
+
+    def test_run_sweeps_families_on_their_own_task_sets(self):
+        document = _good_document()
+        document["grid"] = {
+            "cores": [2],
+            "workload": ["paper-synthetic", "heavy-security"],
+            "heuristic": ["best-fit"],
+            "ordering": ["utilization"],
+            "admission": ["rta"],
+        }
+        document["sweep"]["utilization"] = {
+            "start": 0.5, "stop": 0.75, "step": 0.25,
+        }
+        document["sweep"]["tasksets_per_point"] = 4
+        experiment = ScenarioExperiment(parse_scenario(document))
+        domain = experiment.run_domain(SMOKE)
+        (panel,) = domain.panels
+        labels = {c.scheme for c in panel.comparison.cells}
+        assert labels == {
+            "paper-synthetic::best-fit/utilization/rta",
+            "heavy-security::best-fit/utilization/rta",
+        }
+        for cell in panel.comparison.cells:
+            assert cell.total if hasattr(cell, "total") else True
+            assert 0.0 <= cell.acceptance <= 1.0
+
+    def test_case_study_workload_axis_runs(self):
+        document = _good_document()
+        document["grid"] = {
+            "cores": [2],
+            "workload": ["uav-case-study"],
+            "heuristic": ["best-fit"],
+            "ordering": ["utilization"],
+            "admission": ["rta"],
+        }
+        document["sweep"]["utilization"] = {
+            "start": 0.5, "stop": 0.5, "step": 0.25,
+        }
+        document["sweep"]["tasksets_per_point"] = 2
+        experiment = ScenarioExperiment(parse_scenario(document))
+        domain = experiment.run_domain(SMOKE)
+        (panel,) = domain.panels
+        cells = panel.comparison.series(
+            "uav-case-study::best-fit/utilization/rta"
+        )
+        # the fixed UAV + Table I system is schedulable on 2 cores
+        assert all(c.acceptance == 1.0 for c in cells)
+
+    def test_appending_a_family_keeps_earlier_families_bytes(self):
+        """Families generate their point batches sequentially in grid
+        order, so appending a family to the axis must not perturb the
+        earlier families' cells (mirrors append-a-point semantics)."""
+        from repro.experiments.parallel import execute_point
+
+        def run(workloads):
+            document = _good_document()
+            document["grid"] = {
+                "cores": [2],
+                "workload": list(workloads),
+                "heuristic": ["best-fit"],
+                "ordering": ["utilization"],
+                "admission": ["rta"],
+            }
+            document["sweep"]["utilization"] = {
+                "start": 0.5, "stop": 0.75, "step": 0.25,
+            }
+            document["sweep"]["tasksets_per_point"] = 4
+            experiment = ScenarioExperiment(parse_scenario(document))
+            (spec,) = experiment.sweeps(SMOKE)
+            return execute_point(spec, 0)
+
+        alone = run(["uunifast"])
+        extended = run(["uunifast", "heavy-security"])
+        label = "uunifast::best-fit/utilization/rta"
+        assert extended["cells"][label] == alone["cells"][label]
+
+    def test_render_names_the_workload_axis(self):
+        document = _good_document()
+        document["grid"]["cores"] = [2]
+        document["grid"]["workload"] = ["uunifast"]
+        document["sweep"]["utilization"] = {
+            "start": 0.5, "stop": 0.5, "step": 0.25,
+        }
+        experiment = ScenarioExperiment(parse_scenario(document))
+        result = experiment.run(SMOKE)
+        text = experiment.render(result)
+        assert "workload::heuristic/ordering/admission" in text
+        assert "uunifast::best-fit/rm/rta" in text

@@ -30,6 +30,25 @@ class TestSamplePeriods:
     def test_zero_count(self, rng):
         assert sample_periods(0, 10.0, 1000.0, rng).shape == (0,)
 
+    def test_harmonic_periods_are_powers_of_two_of_low(self, rng):
+        periods = sample_periods(
+            500, 10.0, 1000.0, rng, distribution="harmonic"
+        )
+        ratios = periods / 10.0
+        k = np.log2(ratios)
+        assert np.allclose(k, np.round(k))
+        assert periods.min() >= 10.0
+        assert periods.max() <= 1000.0
+        # all of 10·2^0 … 10·2^6 are reachable and mutually divide
+        assert set(np.unique(ratios)) <= {2.0**i for i in range(7)}
+
+    def test_harmonic_divisibility(self, rng):
+        periods = np.sort(
+            sample_periods(64, 10.0, 1000.0, rng, distribution="harmonic")
+        )
+        for small, large in zip(periods, periods[1:]):
+            assert large % small == pytest.approx(0.0, abs=1e-9)
+
     def test_granularity_rounding(self, rng):
         periods = sample_periods(
             200, 10.0, 1000.0, rng, granularity=5.0

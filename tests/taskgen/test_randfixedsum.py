@@ -8,7 +8,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import ValidationError
-from repro.taskgen.randfixedsum import randfixedsum
+from repro.taskgen.randfixedsum import randfixedsum, randfixedsum_batch
 
 
 class TestBasics:
@@ -71,6 +71,81 @@ class TestValidation:
     def test_bad_bounds_rejected(self, rng):
         with pytest.raises(ValidationError):
             randfixedsum(3, 1.0, 1, rng, low=0.5, high=0.5)
+
+
+class TestBatchKernel:
+    """randfixedsum_batch: one table build, many different sums."""
+
+    def test_rows_hit_their_own_totals(self):
+        totals = np.linspace(0.05, 7.8, 117)
+        rows = randfixedsum_batch(8, totals, np.random.default_rng(3))
+        assert rows.shape == (117, 8)
+        assert np.allclose(rows.sum(axis=1), totals, atol=1e-9)
+        assert rows.min() >= -1e-12
+        assert rows.max() <= 1.0 + 1e-12
+
+    def test_single_component(self):
+        totals = np.array([0.2, 0.9])
+        rows = randfixedsum_batch(1, totals, np.random.default_rng(0))
+        assert np.array_equal(rows, totals[:, None])
+
+    def test_affine_bounds(self):
+        totals = np.array([1.0, 1.5, 2.0])
+        rows = randfixedsum_batch(
+            5, totals, np.random.default_rng(1), low=0.1, high=0.6
+        )
+        assert np.allclose(rows.sum(axis=1), totals, atol=1e-9)
+        assert rows.min() >= 0.1 - 1e-12
+        assert rows.max() <= 0.6 + 1e-12
+
+    def test_reproducible_with_seeded_rng(self):
+        totals = np.array([0.5, 1.3, 2.9])
+        a = randfixedsum_batch(6, totals, np.random.default_rng(8))
+        b = randfixedsum_batch(6, totals, np.random.default_rng(8))
+        assert np.array_equal(a, b)
+
+    def test_distribution_matches_scalar_kernel(self):
+        # same (n, u) through both kernels: identical per-component
+        # moments (both draw uniformly from the same simplex slice)
+        u, n = 1.3, 4
+        scalar = randfixedsum(n, u, 6000, np.random.default_rng(1))
+        batch = randfixedsum_batch(
+            n, np.full(6000, u), np.random.default_rng(2)
+        )
+        assert np.allclose(scalar.mean(0), batch.mean(0), atol=0.02)
+        assert np.allclose(scalar.std(0), batch.std(0), atol=0.02)
+
+    def test_integer_shelf_boundaries(self):
+        # sums sitting exactly on integers exercise the k = floor(u)
+        # shelf selection for every row independently
+        totals = np.array([1.0, 2.0, 3.0, 0.5, 2.5])
+        rows = randfixedsum_batch(4, totals, np.random.default_rng(5))
+        assert np.allclose(rows.sum(axis=1), totals, atol=1e-9)
+        assert rows.max() <= 1.0 + 1e-12
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValidationError):
+            randfixedsum_batch(0, np.array([0.5]), rng)
+        with pytest.raises(ValidationError):
+            randfixedsum_batch(3, np.array([]), rng)
+        with pytest.raises(ValidationError, match="unreachable"):
+            randfixedsum_batch(3, np.array([1.0, 3.5]), rng)
+        with pytest.raises(ValidationError, match="low < high"):
+            randfixedsum_batch(3, np.array([1.0]), rng, low=1.0, high=0.5)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=12),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_property_sums_and_bounds(self, n, seed):
+        rng = np.random.default_rng(seed)
+        totals = rng.uniform(0.0, float(n), size=9)
+        rows = randfixedsum_batch(n, totals, rng)
+        assert np.allclose(rows.sum(axis=1), totals, atol=1e-9)
+        assert rows.min() >= -1e-9
+        assert rows.max() <= 1.0 + 1e-9
 
 
 class TestProperties:

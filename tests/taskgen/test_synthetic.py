@@ -2,13 +2,17 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.errors import ValidationError
 from repro.model.platform import Platform
 from repro.taskgen.synthetic import (
+    _MIN_TASK_UTIL,
+    UTILIZATION_SPLITS,
     SyntheticConfig,
     generate_workload,
+    generate_workload_batch,
     utilization_sweep,
 )
 
@@ -94,6 +98,102 @@ class TestGenerateWorkload:
     def test_high_utilization_generates(self, rng):
         wl = generate_workload(8, 7.8, rng)
         assert wl.total_utilization == pytest.approx(7.8, abs=0.05)
+
+    @pytest.mark.parametrize("split", UTILIZATION_SPLITS)
+    def test_splits_hit_target_and_stay_admissible(self, rng, split):
+        wl = generate_workload(2, 1.3, rng, split=split)
+        assert wl.total_utilization == pytest.approx(1.3, rel=1e-6)
+        for task in wl.rt_tasks:
+            assert task.utilization <= 1.0 + 1e-9
+
+    def test_unknown_split_rejected(self, rng):
+        with pytest.raises(ValidationError, match="alchemy"):
+            generate_workload(2, 1.0, rng, split="alchemy")
+
+
+class TestMinUtilFloorRegression:
+    """The ``_MIN_TASK_UTIL`` floor must not push the achieved total
+    above target at extreme low-U / high-M corners.
+
+    With ``U = 0.025·M`` on ``M = 16`` the recipe spreads ~0.3 of
+    real-time utilisation over up to 160 tasks; the raw
+    ``maximum(utils, floor)`` clamp used to drift the sum up by as much
+    as ``count·1e-5`` here.  The box projection redistributes the
+    clamped mass instead, keeping the sum exact.
+    """
+
+    def test_extreme_corner_stays_on_target(self):
+        m, target = 16, 0.025 * 16
+        floored = 0
+        for seed in range(40):
+            wl = generate_workload(m, target, np.random.default_rng(seed))
+            assert wl.total_utilization <= target * (1 + 1e-9) + 1e-12, (
+                f"seed {seed}: drifted to {wl.total_utilization}"
+            )
+            assert wl.total_utilization == pytest.approx(target, rel=1e-6)
+            floored += sum(
+                1
+                for t in wl.rt_tasks
+                if t.utilization <= _MIN_TASK_UTIL * (1 + 1e-6)
+            )
+        # the corner genuinely exercises the clamp, not just misses it
+        assert floored > 0
+
+    def test_floor_still_enforced(self):
+        m, target = 16, 0.4
+        for seed in range(10):
+            wl = generate_workload(m, target, np.random.default_rng(seed))
+            for task in wl.rt_tasks:
+                assert task.wcet > 0.0
+                assert task.utilization >= _MIN_TASK_UTIL * (1 - 1e-9)
+
+
+class TestGenerateWorkloadBatch:
+    def test_matches_targets_and_invariants(self):
+        targets = [0.3, 0.9, 0.9, 1.5]
+        batch = generate_workload_batch(2, targets, 42)
+        assert [w.target_utilization for w in batch] == targets
+        for wl in batch:
+            assert wl.total_utilization == pytest.approx(
+                wl.target_utilization, rel=1e-6
+            )
+            assert 6 <= len(wl.rt_tasks) <= 20
+            assert 4 <= len(wl.security_tasks) <= 10
+            for task in wl.rt_tasks:
+                assert 10.0 <= task.period <= 1000.0
+                assert task.wcet > 0.0
+            for task in wl.security_tasks:
+                assert 1000.0 <= task.period_des <= 3000.0
+                assert task.wcet > 0.0
+
+    def test_deterministic_per_stream(self):
+        a = generate_workload_batch(2, [0.5, 1.0], 7)
+        b = generate_workload_batch(2, [0.5, 1.0], 7)
+        assert all(
+            x.rt_tasks == y.rt_tasks and x.security_tasks == y.security_tasks
+            for x, y in zip(a, b)
+        )
+
+    def test_empty_batch(self):
+        assert generate_workload_batch(2, [], 1) == []
+
+    def test_invalid_target_rejected(self):
+        with pytest.raises(ValidationError):
+            generate_workload_batch(2, [0.5, 2.5], 1)
+
+    @pytest.mark.parametrize("split", UTILIZATION_SPLITS)
+    def test_splits_supported(self, split):
+        batch = generate_workload_batch(2, [1.3, 1.3], 3, split=split)
+        for wl in batch:
+            assert wl.total_utilization == pytest.approx(1.3, rel=1e-6)
+
+    def test_config_respected(self):
+        config = SyntheticConfig(
+            rt_task_count=(3, 3), security_task_count=(2, 2)
+        )
+        for wl in generate_workload_batch(4, [1.0, 2.0], 5, config):
+            assert len(wl.rt_tasks) == 3
+            assert len(wl.security_tasks) == 2
 
 
 class TestUtilizationSweep:

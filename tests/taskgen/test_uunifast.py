@@ -1,0 +1,98 @@
+"""Unit tests for the UUniFast splitters and the box-sum projection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.taskgen.uunifast import project_box_sum, uunifast, uunifast_discard
+
+
+class TestUUniFast:
+    def test_rows_sum_to_total(self, rng):
+        utils = uunifast(8, 1.3, 200, rng)
+        assert utils.shape == (200, 8)
+        assert np.allclose(utils.sum(axis=1), 1.3)
+        assert (utils >= 0.0).all()
+
+    def test_single_component(self, rng):
+        utils = uunifast(1, 0.7, 5, rng)
+        assert np.allclose(utils, 0.7)
+
+    def test_components_exchangeable_in_mean(self, rng):
+        # every slot should carry total/n on average (no position bias)
+        utils = uunifast(4, 1.0, 4000, rng)
+        assert np.allclose(utils.mean(axis=0), 0.25, atol=0.02)
+
+    def test_multicore_totals_can_exceed_one_per_component(self):
+        # classic UUniFast is unbounded above; with total close to n,
+        # over-unity components appear readily
+        utils = uunifast(3, 2.8, 500, np.random.default_rng(0))
+        assert (utils > 1.0).any()
+
+    def test_invalid_arguments_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            uunifast(0, 1.0, 1, rng)
+        with pytest.raises(ValidationError):
+            uunifast(3, -0.1, 1, rng)
+        with pytest.raises(ValidationError):
+            uunifast(3, 1.0, 0, rng)
+
+    def test_deterministic_for_a_given_stream(self):
+        a = uunifast(6, 1.7, 10, np.random.default_rng(9))
+        b = uunifast(6, 1.7, 10, np.random.default_rng(9))
+        assert (a == b).all()
+
+
+class TestUUniFastDiscard:
+    def test_all_components_admissible(self):
+        utils = uunifast_discard(3, 2.5, 300, np.random.default_rng(1))
+        assert utils.shape == (300, 3)
+        assert (utils <= 1.0 + 1e-12).all()
+        assert np.allclose(utils.sum(axis=1), 2.5)
+
+    def test_unreachable_total_rejected(self, rng):
+        with pytest.raises(ValidationError, match="unreachable"):
+            uunifast_discard(2, 2.5, 1, rng)
+
+    def test_tight_total_terminates_via_projection(self):
+        # acceptance collapses as total → n·high; the projection
+        # fallback must still return an admissible on-sum matrix
+        utils = uunifast_discard(
+            4, 3.999, 50, np.random.default_rng(2), max_attempts=2
+        )
+        assert (utils <= 1.0 + 1e-9).all()
+        assert np.allclose(utils.sum(axis=1), 3.999)
+
+
+class TestProjectBoxSum:
+    def test_identity_on_admissible_rows(self):
+        rows = np.array([[0.2, 0.3, 0.5], [0.1, 0.1, 0.8]])
+        out = project_box_sum(rows, 1.0, low=1e-5, high=1.0)
+        assert (out == rows).all()
+
+    def test_clamps_and_restores_sum(self):
+        rows = np.array([[1e-9, 0.5, 0.5 - 1e-9]])
+        out = project_box_sum(rows, 1.0, low=1e-5, high=1.0)
+        assert out.sum() == pytest.approx(1.0, abs=1e-12)
+        assert (out >= 1e-5).all()
+        assert (out <= 1.0).all()
+
+    def test_overfull_components_pushed_down(self):
+        rows = np.array([[1.4, 0.3, 0.3]])
+        out = project_box_sum(rows, 2.0, low=0.0, high=1.0)
+        assert out.sum() == pytest.approx(2.0, abs=1e-9)
+        assert (out <= 1.0 + 1e-12).all()
+
+    def test_degenerate_low_sum_splits_evenly(self):
+        out = project_box_sum(np.array([[0.5, 0.5]]), 1e-6, low=1e-5)
+        assert np.allclose(out, 5e-7)
+
+    def test_unreachable_sum_rejected(self):
+        with pytest.raises(ValidationError, match="unreachable"):
+            project_box_sum(np.ones((1, 2)), 2.5, low=0.0, high=1.0)
+
+    def test_invalid_box_rejected(self):
+        with pytest.raises(ValidationError, match="low < high"):
+            project_box_sum(np.ones((1, 2)), 1.0, low=1.0, high=0.5)

@@ -366,6 +366,107 @@ class TestAllocatorsCommand:
         assert "allocators" in out  # the meta-command hint
 
 
+class TestWorkloadsCommand:
+    def test_text_lists_every_registered_workload(self, capsys):
+        from repro.workloads import workload_names
+
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        for name in workload_names():
+            assert name in out
+
+    def test_json_lists_specs(self, capsys):
+        from repro.workloads import workload_names
+
+        assert main(["workloads", "--format", "json"]) == 0
+        specs = json.loads(capsys.readouterr().out)
+        assert [s["name"] for s in specs] == workload_names()
+        assert all("title" in s and "tags" in s for s in specs)
+
+    def test_describe_one(self, capsys):
+        assert main(["workloads", "uunifast-discard"]) == 0
+        out = capsys.readouterr().out
+        assert "uunifast-discard" in out
+        assert "resampled" in out.lower()
+
+    def test_describe_one_json(self, capsys):
+        assert main(["workloads", "heavy-security", "--format", "json"]) == 0
+        spec = json.loads(capsys.readouterr().out)
+        assert spec["name"] == "heavy-security"
+        assert "profile" in spec["tags"]
+
+    def test_unknown_name_errors_with_known_list(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["workloads", "fractal"])
+        err = capsys.readouterr().err
+        assert "fractal" in err and "paper-synthetic" in err
+
+    def test_list_mentions_workloads_meta_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "workloads" in out  # the meta-command hint
+
+
+class TestSweepWorkloadOverride:
+    def _write_config(self, tmp_path, text: str):
+        path = tmp_path / "sweep.toml"
+        path.write_text(text)
+        return str(path)
+
+    _CONFIG = """
+    [sweep]
+    name = "wl-mini"
+    tasksets_per_point = 2
+    utilization = { start = 0.5, stop = 0.5, step = 0.5 }
+
+    [grid]
+    cores = [2]
+    heuristic = ["best-fit"]
+    ordering = ["rm"]
+    admission = ["rta"]
+    """
+
+    def test_workload_flag_adds_the_axis(self, tmp_path, capsys):
+        config = self._write_config(tmp_path, self._CONFIG)
+        assert main([
+            "sweep", "--config", config, "--scale", "smoke",
+            "--workload", "paper-synthetic", "--workload", "uunifast",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "paper-synthetic::best-fit/rm/rta" in out
+        assert "uunifast::best-fit/rm/rta" in out
+
+    def test_unknown_workload_flag_errors_cleanly(self, tmp_path, capsys):
+        config = self._write_config(tmp_path, self._CONFIG)
+        with pytest.raises(SystemExit):
+            main([
+                "sweep", "--config", config, "--workload", "fractal",
+            ])
+        err = capsys.readouterr().err
+        assert "fractal" in err and "known workloads" in err
+
+    def test_workload_axis_in_toml(self, tmp_path, capsys):
+        config = self._write_config(
+            tmp_path,
+            self._CONFIG.replace(
+                'admission = ["rta"]',
+                'admission = ["rta"]\n    workload = ["harmonic-periods"]',
+            ),
+        )
+        assert main(["sweep", "--config", config, "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "harmonic-periods::best-fit/rm/rta" in out
+
+    def test_workload_and_allocator_flags_compose(self, tmp_path, capsys):
+        config = self._write_config(tmp_path, self._CONFIG)
+        assert main([
+            "sweep", "--config", config, "--scale", "smoke",
+            "--workload", "table1-suite", "--allocator", "binpack-first-fit",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "table1-suite::binpack-first-fit|best-fit/rm/rta" in out
+
+
 class TestSweepAllocatorOverride:
     def _write_config(self, tmp_path, text: str):
         path = tmp_path / "sweep.toml"

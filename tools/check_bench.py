@@ -16,7 +16,10 @@ pinned benchmarks cover the sweep engine's hot paths:
   result store's batched read/write paths,
 * ``test_allocator_dispatch`` — the allocator-registry round trip a
   sweep cell pays per task set (spec lookup → strategy → typed
-  AllocationResult).
+  AllocationResult),
+* ``test_workload_batch_generation`` — the vectorised task-set
+  generation route (batched Randfixedsum table builds + one period
+  draw per sweep) behind ``generate_workload_batch``.
 
 Raw means are meaningless across machines (the committed baseline was
 recorded on one box, CI runs on another), so every pinned mean is
@@ -30,6 +33,7 @@ Regenerate the baseline after an *intended* perf change::
     PYTHONPATH=src REPRO_SCALE=smoke python -m pytest \
         benchmarks/test_bench_micro.py benchmarks/test_bench_parallel.py \
         benchmarks/test_bench_store.py benchmarks/test_bench_allocators.py \
+        benchmarks/test_bench_workloads.py \
         --benchmark-json=/tmp/bench.json -q
     python tools/check_bench.py --slim /tmp/bench.json \
         benchmarks/baselines/baseline.json
@@ -52,6 +56,7 @@ PINNED = (
     "test_store_warm_read",
     "test_store_put_many",
     "test_allocator_dispatch",
+    "test_workload_batch_generation",
 )
 
 #: The normaliser: CPU-bound, stable, present in every gated run.
