@@ -34,7 +34,20 @@ v1 JSON-per-point directory migrates it in place, and::
     repro-hydra cache migrate [--cache-dir DIR]
     repro-hydra cache gc      [--cache-dir DIR]
 
-inspects, migrates, or compacts a store without running anything.
+inspects, migrates, or compacts a store without running anything, and::
+
+    repro-hydra serve [--host H] [--port P] [--cache-dir DIR]
+
+runs the sweep service (:mod:`repro.server`): an HTTP endpoint that
+accepts sweep-spec submissions (``POST /jobs``), tracks job lifecycle
+and progress, and serves typed results — all through the same
+:class:`repro.jobs.JobRunner` the CLI subcommands use, so a sweep
+submitted over HTTP and one run with ``repro-hydra sweep`` share the
+cache, the worker pool, and byte-identical results.
+
+Runtime failures exit with code 1 and a one-line typed message
+(``repro-hydra: UnknownAllocatorError: …``) — never a traceback;
+usage mistakes keep argparse's exit code 2.
 
 Results are structured: ``--format json`` emits the versioned
 :class:`~repro.experiments.api.ExperimentResult` document (readable
@@ -69,7 +82,6 @@ from repro.experiments.registry import (
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.experiments.api import Experiment
-    from repro.experiments.parallel import SweepEngine
 
 __all__ = ["main", "build_parser"]
 
@@ -79,9 +91,26 @@ DEFAULT_CACHE_DIR = ".repro-cache"
 #: Meta commands that are not registry experiments.
 _META_COMMANDS = (
     "list", "allocators", "workloads", "all", "ablations", "sweep", "cache",
+    "serve",
 )
 
 _FORMATS = ("text", "json", "csv")
+
+
+def _positive_int(value: str) -> int:
+    """Argparse type for ``--workers``: a worker *count* must be at
+    least 1 (rejected at parse time, before anything runs)."""
+    try:
+        workers = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid int value: {value!r}"
+        ) from None
+    if workers < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive worker count, got {workers}"
+        )
+    return workers
 
 
 def _add_run_options(parser: argparse.ArgumentParser) -> None:
@@ -100,12 +129,13 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--workers",
-        type=int,
+        type=_positive_int,
         default=None,
         metavar="N",
         help=(
-            "fan sweep points out over N worker processes (default: "
-            "serial; results are identical for any worker count)"
+            "fan sweep points out over N worker processes, N >= 1 "
+            "(default: serial; results are identical for any worker "
+            "count)"
         ),
     )
     parser.add_argument(
@@ -312,16 +342,76 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"store root (default: '{DEFAULT_CACHE_DIR}')",
     )
 
+    serve = subparsers.add_parser(
+        "serve",
+        help="serve sweep jobs over HTTP (stdlib asyncio, no deps)",
+        description=(
+            "Run the sweep service: POST /jobs submits a sweep spec "
+            "(the TOML-grid schema as JSON, or an experiment name), "
+            "GET /jobs/{id} polls lifecycle and progress, GET "
+            "/jobs/{id}/result fetches the typed ExperimentResult, "
+            "DELETE /jobs/{id} cancels cooperatively.  Duplicate "
+            "submissions map to the same job id, and a warm cache "
+            "completes them without recomputation."
+        ),
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address (default: 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8177,
+        help="bind port (default: 8177)",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=DEFAULT_CACHE_DIR,
+        help=(
+            f"content-addressed store for job results (default: "
+            f"'{DEFAULT_CACHE_DIR}'); shared with the sweep/experiment "
+            f"subcommands, so served jobs and CLI runs reuse each "
+            f"other's points"
+        ),
+    )
+    serve.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="worker processes per job, N >= 1 (default: serial)",
+    )
+
     return parser
 
 
-def _build_engine(args) -> "SweepEngine":
-    from repro.experiments.parallel import SweepEngine
+def _typed_error(exc: BaseException) -> None:
+    """Report a runtime failure as one typed line on stderr and exit 1.
+
+    ``repro-hydra: UnknownAllocatorError: unknown allocator …`` — the
+    class name is the machine-greppable category, the message stays
+    the library's own wording, and there is never a traceback.  Usage
+    mistakes (bad flags) stay with argparse's ``parser.error`` and
+    exit code 2; this path is for errors that only surface once the
+    arguments were well-formed.
+    """
+    message = " ".join(str(exc).split())
+    print(
+        f"repro-hydra: {type(exc).__name__}: {message}", file=sys.stderr
+    )
+    raise SystemExit(1)
+
+
+def _build_runner(args):
+    from repro.jobs import JobRunner
 
     cache_dir = args.cache_dir
     if cache_dir is None and args.resume:
         cache_dir = DEFAULT_CACHE_DIR
-    return SweepEngine(workers=args.workers, cache=cache_dir)
+    return JobRunner(cache_dir=cache_dir, workers=args.workers)
 
 
 def _selected_experiments(args) -> list["Experiment"]:
@@ -516,6 +606,29 @@ def _run_cache(args) -> int:
     return 0
 
 
+def _run_serve(args) -> int:
+    from repro.jobs import JobRunner
+    from repro.server import JobServiceApp, run_server
+
+    runner = JobRunner(cache_dir=args.cache_dir, workers=args.workers)
+    app = JobServiceApp(runner)
+    print(
+        f"repro-hydra serve: listening on {args.host}:{args.port} "
+        f"(cache: {args.cache_dir}; ^C stops)",
+        file=sys.stderr,
+    )
+    try:
+        run_server(app, host=args.host, port=args.port)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        runner.close()
+        from repro.experiments.pool import shutdown_shared_pool
+
+        shutdown_shared_pool()
+    return 0
+
+
 def _configure_logging() -> None:
     """Honour ``REPRO_LOG`` (e.g. ``info``, ``debug``): the pool logs
     its spawns at INFO, so ``REPRO_LOG=info`` makes reuse observable
@@ -564,33 +677,36 @@ def main(argv: Sequence[str] | None = None) -> int:
         try:
             return _run_allocators(args)
         except ConfigError as exc:
-            parser.error(str(exc))
+            _typed_error(exc)
     if args.experiment == "workloads":
         try:
             return _run_workloads(args)
         except ConfigError as exc:
-            parser.error(str(exc))
+            _typed_error(exc)
     if args.experiment == "cache":
         try:
             return _run_cache(args)
         except (ValidationError, CacheError) as exc:
-            parser.error(str(exc))
+            _typed_error(exc)
+    if args.experiment == "serve":
+        try:
+            return _run_serve(args)
+        except CacheError as exc:
+            _typed_error(exc)
 
-    if args.workers is not None and args.workers < 0:
-        parser.error(f"--workers must be >= 0, got {args.workers}")
     scale = get_scale(args.scale)
     if args.seed is not None:
         scale = scale.with_overrides(seed=args.seed)
     try:
-        engine = _build_engine(args)
+        runner = _build_runner(args)
     except CacheError as exc:
         # An unusable --cache-dir fails fast, before any point computes.
-        parser.error(str(exc))
+        _typed_error(exc)
 
     try:
         experiments = _selected_experiments(args)
     except (ValidationError, ConfigError) as exc:
-        parser.error(str(exc))
+        _typed_error(exc)
 
     fmt = args.output_format
     if fmt == "csv" and len(experiments) != 1:
@@ -601,17 +717,22 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     results = []
     try:
-        # Every experiment runs through the same engine, and the engine
-        # attaches to the shared worker pool on first parallel sweep —
-        # one fork for the whole invocation, reaped when the runs end.
+        # Every experiment runs as a job through one JobRunner — the
+        # exact path the sweep service serves — so each gets an
+        # idempotent job id, shares the content-addressed store, and
+        # attaches to the shared worker pool on first parallel sweep
+        # (one fork for the whole invocation, reaped when the runs
+        # end).
         for experiment in experiments:
-            results.append((experiment, experiment.run(scale, engine)))
-    except (ValidationError, ConfigError) as exc:
+            job = runner.run_experiment(experiment, scale)
+            results.append((experiment, job.result))
+    except (ValidationError, ConfigError, CacheError) as exc:
         # Config-level mistakes (e.g. a scenario utilisation range that
         # only becomes resolvable against the scale) surface as clean
-        # CLI errors, not tracebacks.
-        parser.error(str(exc))
+        # typed one-liners, not tracebacks.
+        _typed_error(exc)
     finally:
+        runner.close()
         from repro.experiments.pool import shutdown_shared_pool
 
         shutdown_shared_pool()

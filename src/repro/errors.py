@@ -49,6 +49,32 @@ class CacheError(ReproError, OSError):
     """
 
 
+class SweepCancelled(ReproError):
+    """A sweep was cooperatively cancelled between point batches.
+
+    Raised by :class:`~repro.experiments.parallel.SweepEngine` when its
+    ``should_cancel`` hook reports a pending cancellation; already
+    computed batches stay cached, so a resubmitted job resumes from
+    where the cancel landed.
+    """
+
+
+class UnknownJobError(ReproError, KeyError):
+    """A job id matched nothing the :class:`~repro.jobs.JobRunner`
+    knows about.
+
+    Also a :class:`KeyError` so generic by-id lookup handlers keep
+    working.
+    """
+
+    def __init__(self, job_id: str) -> None:
+        super().__init__(f"unknown job {job_id!r}")
+        self.job_id = job_id
+
+    def __str__(self) -> str:  # KeyError quotes its args; keep prose
+        return self.args[0]
+
+
 class InfeasibleError(ReproError):
     """An optimisation problem has an empty feasible region."""
 

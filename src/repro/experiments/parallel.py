@@ -40,7 +40,7 @@ from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
 
-from repro.errors import ValidationError
+from repro.errors import SweepCancelled, ValidationError
 from repro.experiments.pool import WorkerPool, get_shared_pool
 from repro.experiments.runner import TrialOutcome, run_acceptance_trial
 from repro.experiments.store import CACHE_FORMAT, ResultStore
@@ -567,6 +567,15 @@ class SweepEngine:
         The engine never shuts it down — the creator owns its
         lifecycle.  When given, it also defaults ``workers`` to the
         pool's size.
+    should_cancel:
+        Optional cooperative-cancellation hook (the
+        :class:`~repro.jobs.JobRunner` sets it).  When given, missing
+        points are computed — and cached — in pool-sized batches with
+        the hook checked between batches; a pending cancellation
+        raises :class:`~repro.errors.SweepCancelled` mid-sweep, and
+        the batches already computed stay cached so a resubmission
+        resumes instead of restarting.  ``None`` (the default) keeps
+        the single-shot compute path.
     """
 
     def __init__(
@@ -575,6 +584,7 @@ class SweepEngine:
         cache: ResultStore | str | None = None,
         on_point_computed: Callable[[int], None] | None = None,
         pool: WorkerPool | None = None,
+        should_cancel: Callable[[], bool] | None = None,
     ) -> None:
         if workers is not None and workers < 0:
             raise ValidationError(f"workers must be >= 0, got {workers}")
@@ -586,6 +596,7 @@ class SweepEngine:
             cache = ResultStore(cache)
         self.cache = cache
         self.on_point_computed = on_point_computed
+        self.should_cancel = should_cancel
         self._injected_pool = pool
         self._attached_pool: WorkerPool | None = None
 
@@ -618,17 +629,35 @@ class SweepEngine:
             missing = list(range(len(spec.points)))
 
         if missing:
-            computed = self._compute(spec, missing)
-            if self.cache is not None:
-                self.cache.put_many(
-                    spec.kind,
-                    [(key_payloads[i], payload) for i, payload in computed],
-                )
-            for index, payload in computed:
-                payloads[index] = payload
-                stats.computed_points += 1
-                if self.on_point_computed is not None:
-                    self.on_point_computed(index)
+            if self.should_cancel is None:
+                batches: Sequence[Sequence[int]] = (missing,)
+            else:
+                # Cancellable runs compute in pool-sized batches so the
+                # hook is consulted mid-sweep; each batch is cached as
+                # it lands, making a cancelled job resumable.
+                chunk = max(1, self.workers)
+                batches = [
+                    missing[start:start + chunk]
+                    for start in range(0, len(missing), chunk)
+                ]
+            for batch in batches:
+                if self.should_cancel is not None and self.should_cancel():
+                    raise SweepCancelled(
+                        f"sweep {spec.kind!r} cancelled after "
+                        f"{stats.computed_points} of {len(missing)} "
+                        f"pending points"
+                    )
+                computed = self._compute(spec, batch)
+                if self.cache is not None:
+                    self.cache.put_many(
+                        spec.kind,
+                        [(key_payloads[i], p) for i, p in computed],
+                    )
+                for index, payload in computed:
+                    payloads[index] = payload
+                    stats.computed_points += 1
+                    if self.on_point_computed is not None:
+                        self.on_point_computed(index)
 
         return SweepResult(
             spec=spec,

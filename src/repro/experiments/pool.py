@@ -77,7 +77,31 @@ class WorkerPool:
         """Whether worker processes are currently alive."""
         return self._executor is not None
 
+    def _reap_if_broken(self) -> bool:
+        """Detect and reap a dead executor (workers OOM-killed, a
+        ``KeyboardInterrupt`` that took the children down, …).
+
+        A broken :class:`ProcessPoolExecutor` raises
+        :class:`BrokenProcessPool` on *every* later submit, so holding
+        one would poison each subsequent sweep — and, behind
+        :func:`get_shared_pool`, every later server job.  Reaping here
+        means the next :meth:`map` simply respawns.  Returns whether a
+        dead executor was reaped (the recovery is logged, so
+        ``REPRO_LOG=info``/``warning`` makes it observable).
+        """
+        executor = self._executor
+        if executor is None or not getattr(executor, "_broken", False):
+            return False
+        log.warning(
+            "worker pool is broken (%s); reaping dead executor",
+            getattr(executor, "_broken", None) or "workers died",
+        )
+        self._executor = None
+        executor.shutdown(wait=False)
+        return True
+
     def _ensure_executor(self) -> ProcessPoolExecutor:
+        self._reap_if_broken()
         if self._executor is None:
             self._executor = ProcessPoolExecutor(
                 max_workers=self.max_workers
@@ -121,7 +145,12 @@ class WorkerPool:
 
         A pool whose workers died (e.g. OOM-killed) is respawned once
         and the batch retried; per-point determinism makes the retry
-        safe.
+        safe.  If the respawned pool breaks too, the batch falls back
+        to serial in-process execution instead of propagating
+        :class:`BrokenProcessPool` forever.  An interrupt (``^C``)
+        mid-map reaps the executor before propagating, so the pool —
+        including the process-wide shared one — is never left holding
+        dead workers that every later sweep would trip over.
         """
         # zip() terminates at the shortest iterable, so infinite
         # companions like itertools.repeat(...) are fine here.
@@ -133,7 +162,22 @@ class WorkerPool:
         except BrokenProcessPool:
             log.warning("worker pool broke; respawning and retrying once")
             self.shutdown(wait=False)
-            return self._dispatch(fn, calls, limit)
+            try:
+                return self._dispatch(fn, calls, limit)
+            except BrokenProcessPool:
+                log.warning(
+                    "respawned worker pool broke too; running this "
+                    "batch serially in-process"
+                )
+                self.shutdown(wait=False)
+                return [fn(*args) for args in calls]
+        except KeyboardInterrupt:
+            # The interrupt usually reached the workers as well (same
+            # process group), leaving the executor broken; reap it so
+            # the pool stays usable after the caller handles the ^C.
+            log.warning("interrupted mid-map; reaping worker pool")
+            self.shutdown(wait=False)
+            raise
 
     def _dispatch(
         self,
@@ -198,6 +242,12 @@ def get_shared_pool(max_workers: int | None = None) -> WorkerPool:
     elif requested > _shared_pool.max_workers:
         _shared_pool.shutdown()
         _shared_pool = WorkerPool(requested)
+    else:
+        # An interrupt or worker death mid-sweep can leave the shared
+        # pool holding a dead executor; hand back a healthy pool (it
+        # respawns on next use) instead of one that raises
+        # BrokenProcessPool for every later sweep and server job.
+        _shared_pool._reap_if_broken()
     return _shared_pool
 
 

@@ -49,6 +49,7 @@ from repro.errors import CacheError, ValidationError
 __all__ = [
     "CACHE_FORMAT",
     "STORE_FORMAT",
+    "ExperimentStore",
     "ResultStore",
     "cache_key",
     "write_v1_entry",
@@ -115,7 +116,25 @@ class _Shard:
         except OSError:
             return 0
 
+    def _clean_stale_tmp(self) -> None:
+        """Remove orphaned atomic-write temporaries.
+
+        :meth:`_write_index` and :meth:`compact` write a ``*.jsonl.tmp``
+        and then ``os.replace`` it into place; a crash between the two
+        strands the temporary forever (the replace never happens
+        again under that name).  Readonly handles skip the cleanup —
+        a readonly store performs no writes of any kind.
+        """
+        if self.readonly:
+            return
+        for target in (self.index_path, self.data_path):
+            try:
+                target.with_suffix(".jsonl.tmp").unlink(missing_ok=True)
+            except OSError:
+                pass  # e.g. an unwritable directory: harmless leftover
+
     def _load_index(self) -> dict[str, tuple[int, int]]:
+        self._clean_stale_tmp()
         data_size = self._data_size()
         if data_size == 0:
             return {}
@@ -156,7 +175,16 @@ class _Shard:
 
     def _rebuild_index(self) -> dict[str, tuple[int, int]]:
         """Re-derive the index by scanning the data log (recovers from
-        a lost, torn, or stale ``index.jsonl``)."""
+        a lost, torn, or stale ``index.jsonl``).
+
+        The rebuilt index is persisted *best-effort* and never from a
+        readonly handle: rebuilding happens on read paths (``get``,
+        ``stats``), which must stay pure reads — writing from a
+        readonly store is a write-on-read bug, and fails outright on a
+        read-only filesystem.  A writable store whose directory turns
+        out to be unwritable keeps the rebuilt index in memory; the
+        next successful writer persists it.
+        """
         index: dict[str, tuple[int, int]] = {}
         if not self.data_path.exists():
             return index
@@ -175,7 +203,10 @@ class _Shard:
                         pass  # torn or foreign line: unreferenced
                 offset += length
         if not self.readonly:
-            self._write_index(index)
+            try:
+                self._write_index(index)
+            except OSError:
+                pass  # read paths must not fail on an unwritable dir
         return index
 
     def _write_index(self, index: Mapping[str, tuple[int, int]]) -> None:
@@ -337,10 +368,14 @@ class ResultStore:
         Ingest a pre-existing v1 layout on open (default).  Pass
         ``False`` to open without triggering the one-shot migration.
     readonly:
-        Open for inspection only (``cache stats`` does): nothing is
-        created or written — no root mkdir, no migration, no index
-        rebuild persisting, and writes raise :class:`CacheError`.  A
-        missing root reads as an empty store.
+        Open for inspection only (``cache stats`` and the job
+        service's result-fetch path do): nothing is created or
+        written — no root mkdir, no migration, no stale-tmp cleanup,
+        and writes raise :class:`CacheError`.  A missing root reads as
+        an empty store.  Readonly stores **never persist rebuilt
+        indexes**: a missing or stale ``index.jsonl`` is rebuilt
+        in-memory only, so reads work even from a read-only
+        filesystem (e.g. a ``chmod 0555`` cache directory).
     """
 
     def __init__(
@@ -595,6 +630,11 @@ class ResultStore:
             f"ResultStore({str(self.directory)!r}, entries={len(self)}, "
             f"hits={self.hits}, misses={self.misses})"
         )
+
+
+#: Forward-looking alias: the job/service layer talks about "the
+#: experiment store"; the class predates that name.
+ExperimentStore = ResultStore
 
 
 # -- v1 compatibility ---------------------------------------------------------

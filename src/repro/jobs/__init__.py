@@ -1,0 +1,27 @@
+"""Transport-agnostic job execution for sweeps and experiments.
+
+``repro.jobs`` is the single execution path shared by the CLI, the
+HTTP server (:mod:`repro.server`), and the test suite: a
+:class:`JobRunner` accepts declarative :class:`JobRequest` submissions
+(registered experiment names or scenario sweep documents), derives an
+idempotent content-addressed job id, and runs them through the shared
+worker pool and sharded result store with full lifecycle tracking
+(``queued → running → done | failed | cancelled``), per-point progress
+counters, and structured error capture.
+"""
+
+from repro.jobs.runner import (
+    Job,
+    JobRequest,
+    JobRunner,
+    JobState,
+    derive_job_id,
+)
+
+__all__ = [
+    "Job",
+    "JobRequest",
+    "JobRunner",
+    "JobState",
+    "derive_job_id",
+]

@@ -1,0 +1,15 @@
+"""Async HTTP layer over :mod:`repro.jobs` — the sweep service.
+
+Split in two so the service is fully testable without sockets:
+
+* :class:`JobServiceApp` (:mod:`repro.server.app`) — transport
+  -agnostic routing: ``(method, path, body) → (status, payload)``.
+* :mod:`repro.server.http` — a small stdlib-:mod:`asyncio` HTTP/1.1
+  shell (no web-framework dependency) that feeds the app and serves
+  it on a socket; ``repro-hydra serve`` is its CLI entry.
+"""
+
+from repro.server.app import JobServiceApp
+from repro.server.http import run_server, serve
+
+__all__ = ["JobServiceApp", "run_server", "serve"]

@@ -1,0 +1,175 @@
+"""Minimal asyncio HTTP/1.1 shell around :class:`JobServiceApp`.
+
+The container this project targets ships no web framework, and the
+service surface is five JSON routes — so rather than gate the server
+behind an optional dependency, this module speaks just enough
+HTTP/1.1 with :mod:`asyncio` streams: parse the request line, headers
+and a ``Content-Length`` body; call the transport-agnostic app (in a
+thread, so a long sweep never blocks the event loop's health checks);
+write a JSON response; close.  ``Connection: close`` per request keeps
+the state machine trivial — sweep submissions are not a
+high-QPS workload.
+
+The parsing/rendering halves (:func:`read_request`,
+:func:`render_response`) are pure functions of streams/values and are
+unit-tested without sockets; only :func:`serve` touches the network.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+from typing import Any
+from urllib.parse import unquote, urlsplit
+
+from repro.server.app import JobServiceApp
+
+__all__ = ["read_request", "render_response", "serve"]
+
+log = logging.getLogger("repro.server")
+
+#: Request bodies above this are rejected outright (413); a sweep spec
+#: is a few KB, so 8 MiB is generous headroom, not a real limit.
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+class BadRequest(ValueError):
+    """The bytes on the wire were not a parsable HTTP request."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+) -> tuple[str, str, dict[str, Any] | None]:
+    """Parse one request off ``reader`` → ``(method, path, json_body)``.
+
+    Returns the decoded (unquoted, query-stripped) path.  Raises
+    :class:`BadRequest` for malformed framing or non-JSON bodies and
+    :class:`ConnectionError` for a peer that vanished mid-request.
+    """
+    request_line = await reader.readline()
+    if not request_line:
+        raise ConnectionError("peer closed before sending a request")
+    try:
+        method, target, _version = (
+            request_line.decode("latin-1").strip().split(" ", 2)
+        )
+    except ValueError:
+        raise BadRequest(400, "malformed request line") from None
+    headers: dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    try:
+        length = int(headers.get("content-length", "0"))
+    except ValueError:
+        raise BadRequest(400, "invalid Content-Length") from None
+    if length > MAX_BODY_BYTES:
+        raise BadRequest(413, f"body exceeds {MAX_BODY_BYTES} bytes")
+    body: dict[str, Any] | None = None
+    if length:
+        raw = await reader.readexactly(length)
+        try:
+            body = json.loads(raw)
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise BadRequest(400, f"request body is not JSON: {exc}") \
+                from None
+    path = unquote(urlsplit(target).path)
+    return method, path, body
+
+
+def render_response(status: int, payload: dict[str, Any]) -> bytes:
+    """Serialise one ``(status, payload)`` pair as an HTTP/1.1
+    response (JSON body, ``Connection: close``)."""
+    body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    reason = _REASONS.get(status, "Unknown")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: close\r\n"
+        f"\r\n"
+    )
+    return head.encode("latin-1") + body
+
+
+async def handle_connection(
+    app: JobServiceApp,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:  # pragma: no cover - exercised via live `serve` only
+    """Serve one connection: read a request, run the app off-loop,
+    write the response, close."""
+    try:
+        try:
+            method, path, body = await read_request(reader)
+        except BadRequest as exc:
+            writer.write(render_response(
+                exc.status,
+                {"error": {"type": "BadRequest", "message": str(exc)}},
+            ))
+            await writer.drain()
+            return
+        except (ConnectionError, asyncio.IncompleteReadError):
+            return
+        loop = asyncio.get_running_loop()
+        # Sweeps run for seconds-to-minutes; keep the loop free so
+        # /healthz and status polls stay responsive meanwhile.
+        status, payload = await loop.run_in_executor(
+            None, app.handle, method, path, body
+        )
+        writer.write(render_response(status, payload))
+        await writer.drain()
+    except Exception:
+        log.exception("error serving request")
+    finally:
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def serve(
+    app: JobServiceApp,
+    host: str = "127.0.0.1",
+    port: int = 8177,
+) -> None:  # pragma: no cover - needs a live socket
+    """Run the service on ``host:port`` until cancelled."""
+    server = await asyncio.start_server(
+        lambda r, w: handle_connection(app, r, w), host, port
+    )
+    addresses = ", ".join(
+        f"{sock.getsockname()[0]}:{sock.getsockname()[1]}"
+        for sock in server.sockets
+    )
+    log.info("serving sweep jobs on %s", addresses)
+    async with server:
+        await server.serve_forever()
+
+
+def run_server(
+    app: JobServiceApp,
+    host: str = "127.0.0.1",
+    port: int = 8177,
+) -> None:  # pragma: no cover - needs a live socket
+    """Blocking entry point for the CLI: serve until interrupted."""
+    asyncio.run(serve(app, host, port))

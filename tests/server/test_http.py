@@ -1,0 +1,139 @@
+"""The stdlib HTTP shell: request parsing and response rendering.
+
+Both halves are pure functions of a stream / values, so they are
+tested by feeding bytes into an :class:`asyncio.StreamReader` —
+no sockets, no running server.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.server.http import (
+    MAX_BODY_BYTES,
+    BadRequest,
+    read_request,
+    render_response,
+)
+
+
+def parse(raw: bytes):
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader)
+
+    return asyncio.run(go())
+
+
+class TestReadRequest:
+    def test_get_without_body(self):
+        method, path, body = parse(
+            b"GET /jobs HTTP/1.1\r\nHost: x\r\n\r\n"
+        )
+        assert (method, path, body) == ("GET", "/jobs", None)
+
+    def test_post_with_json_body(self):
+        payload = json.dumps({"experiment": "table1"}).encode()
+        raw = (
+            b"POST /jobs HTTP/1.1\r\n"
+            b"Content-Type: application/json\r\n"
+            b"Content-Length: " + str(len(payload)).encode() + b"\r\n"
+            b"\r\n" + payload
+        )
+        method, path, body = parse(raw)
+        assert method == "POST"
+        assert path == "/jobs"
+        assert body == {"experiment": "table1"}
+
+    def test_query_string_and_quoting_are_stripped(self):
+        _method, path, _body = parse(
+            b"GET /jobs/ab%20cd?verbose=1 HTTP/1.1\r\n\r\n"
+        )
+        assert path == "/jobs/ab cd"
+
+    def test_header_names_are_case_insensitive(self):
+        body = b'{"a": 1}'
+        raw = (
+            b"POST / HTTP/1.1\r\n"
+            b"CONTENT-LENGTH: " + str(len(body)).encode() + b"\r\n"
+            b"\r\n" + body
+        )
+        assert parse(raw)[2] == {"a": 1}
+
+    def test_malformed_request_line(self):
+        with pytest.raises(BadRequest) as err:
+            parse(b"NONSENSE\r\n\r\n")
+        assert err.value.status == 400
+
+    def test_invalid_content_length(self):
+        with pytest.raises(BadRequest, match="Content-Length"):
+            parse(b"POST / HTTP/1.1\r\nContent-Length: ten\r\n\r\n")
+
+    def test_non_json_body(self):
+        raw = (
+            b"POST / HTTP/1.1\r\nContent-Length: 9\r\n\r\nnot json!"
+        )
+        with pytest.raises(BadRequest, match="not JSON") as err:
+            parse(raw)
+        assert err.value.status == 400
+
+    def test_oversized_body_is_rejected_without_reading_it(self):
+        raw = (
+            b"POST / HTTP/1.1\r\nContent-Length: "
+            + str(MAX_BODY_BYTES + 1).encode()
+            + b"\r\n\r\n"
+        )
+        with pytest.raises(BadRequest) as err:
+            parse(raw)
+        assert err.value.status == 413
+
+    def test_vanished_peer_is_a_connection_error(self):
+        with pytest.raises(ConnectionError):
+            parse(b"")
+
+
+class TestRenderResponse:
+    def test_status_line_and_framing(self):
+        raw = render_response(200, {"status": "ok"})
+        head, _, body = raw.partition(b"\r\n\r\n")
+        lines = head.split(b"\r\n")
+        assert lines[0] == b"HTTP/1.1 200 OK"
+        assert b"Content-Type: application/json" in lines
+        assert b"Connection: close" in lines
+        assert json.loads(body) == {"status": "ok"}
+
+    def test_content_length_matches_body(self):
+        raw = render_response(202, {"id": "x" * 64})
+        head, _, body = raw.partition(b"\r\n\r\n")
+        headers = dict(
+            line.split(b": ", 1)
+            for line in head.split(b"\r\n")[1:]
+        )
+        assert int(headers[b"Content-Length"]) == len(body)
+
+    def test_known_reason_phrases(self):
+        for status, phrase in (
+            (202, b"Accepted"),
+            (400, b"Bad Request"),
+            (404, b"Not Found"),
+            (405, b"Method Not Allowed"),
+            (409, b"Conflict"),
+            (500, b"Internal Server Error"),
+        ):
+            assert render_response(status, {}).startswith(
+                b"HTTP/1.1 %d %s" % (status, phrase)
+            )
+
+    def test_unknown_status_still_renders(self):
+        assert render_response(418, {}).startswith(b"HTTP/1.1 418 ")
+
+    def test_round_trip_through_reader(self):
+        # A rendered response body parses back as the same JSON.
+        raw = render_response(200, {"jobs": [], "n": 3})
+        _, _, body = raw.partition(b"\r\n\r\n")
+        assert json.loads(body) == {"jobs": [], "n": 3}

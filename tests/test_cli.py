@@ -516,3 +516,104 @@ class TestSweepAllocatorOverride:
         assert main(["sweep", "--config", config, "--scale", "smoke"]) == 0
         out = capsys.readouterr().out
         assert "slackiest-core|best-fit/rm/rta" in out
+
+
+class TestTypedErrorsAndWorkersValidation:
+    """Runtime failures exit 1 with one typed line; bad ``--workers``
+    values are rejected by argparse (exit 2) before anything runs."""
+
+    _CONFIG = """
+    [sweep]
+    name = "err-mini"
+    tasksets_per_point = 2
+    utilization = { start = 0.5, stop = 0.5, step = 0.5 }
+
+    [grid]
+    cores = [2]
+    heuristic = ["best-fit"]
+    ordering = ["rm"]
+    admission = ["rta"]
+    """
+
+    def _write_config(self, tmp_path):
+        path = tmp_path / "sweep.toml"
+        path.write_text(self._CONFIG)
+        return str(path)
+
+    @pytest.mark.parametrize("value", ["0", "-2"])
+    def test_workers_below_one_rejected_at_parse_time(
+        self, value, capsys
+    ):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fig2", "--scale", "smoke", "--workers", value])
+        assert excinfo.value.code == 2  # argparse usage error
+        assert "positive worker count" in capsys.readouterr().err
+
+    def test_workers_non_integer_rejected_at_parse_time(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fig2", "--scale", "smoke", "--workers", "many"])
+        assert excinfo.value.code == 2
+        assert "invalid" in capsys.readouterr().err
+
+    def test_serve_validates_workers_too(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--workers", "0"])
+        assert excinfo.value.code == 2
+        assert "positive worker count" in capsys.readouterr().err
+
+    def test_unknown_allocator_is_one_typed_line_exit_1(
+        self, tmp_path, capsys
+    ):
+        config = self._write_config(tmp_path)
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--config", config, "--allocator", "quantum"])
+        assert excinfo.value.code == 1
+        err = capsys.readouterr().err
+        assert err.startswith("repro-hydra: UnknownAllocatorError:")
+        assert "quantum" in err
+        assert "Traceback" not in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_unknown_workload_is_one_typed_line_exit_1(
+        self, tmp_path, capsys
+    ):
+        config = self._write_config(tmp_path)
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--config", config, "--workload", "fractal"])
+        assert excinfo.value.code == 1
+        err = capsys.readouterr().err
+        assert err.startswith("repro-hydra: UnknownWorkloadError:")
+        assert "Traceback" not in err
+
+    def test_unusable_cache_dir_is_a_typed_cache_error(
+        self, tmp_path, capsys
+    ):
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_text("a file where the store root should be")
+        with pytest.raises(SystemExit) as excinfo:
+            main([
+                "table1", "--cache-dir", str(blocker),
+            ])
+        assert excinfo.value.code == 1
+        err = capsys.readouterr().err
+        assert err.startswith("repro-hydra: CacheError:")
+        assert "Traceback" not in err
+
+    def test_unknown_allocator_describe_is_typed(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["allocators", "no-such-strategy"])
+        assert excinfo.value.code == 1
+        err = capsys.readouterr().err
+        assert err.startswith("repro-hydra: ")
+        assert "no-such-strategy" in err
+
+    def test_cache_verb_on_missing_dir_is_typed(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([
+                "cache", "gc",
+                "--cache-dir", str(tmp_path / "absent"),
+            ])
+        assert excinfo.value.code == 1
+        err = capsys.readouterr().err
+        assert err.startswith("repro-hydra: ValidationError:")
+        assert "no cache directory" in err
