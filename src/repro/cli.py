@@ -691,7 +691,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.experiment == "serve":
         try:
             return _run_serve(args)
-        except CacheError as exc:
+        except (CacheError, OSError) as exc:
+            # OSError covers bind failures (port already in use,
+            # privileged port): one typed line, never a traceback.
             _typed_error(exc)
 
     scale = get_scale(args.scale)

@@ -608,6 +608,14 @@ class SweepEngine:
 
     def run(self, spec: SweepSpec) -> SweepResult:
         """Execute ``spec``, returning per-point payloads in order."""
+        # Consult the cancel hook before doing anything — including
+        # the cache probe: a job cancelled while queued must report
+        # cancelled even when a warm cache could have served every
+        # point without computing.
+        if self.should_cancel is not None and self.should_cancel():
+            raise SweepCancelled(
+                f"sweep {spec.kind!r} cancelled before it started"
+            )
         stats = SweepStats()
         payloads: list[Mapping[str, Any] | None] = [None] * len(spec.points)
 

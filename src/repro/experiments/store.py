@@ -41,6 +41,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
 from pathlib import Path
 from typing import Any, Iterable, Mapping, Sequence
 
@@ -71,6 +72,12 @@ _INDEX_NAME = "index.jsonl"
 #: v1 entry filenames were ``<sha256 hex>.json``.
 _V1_STEM_LEN = 64
 _HEX_DIGITS = set("0123456789abcdef")
+
+#: A ``*.tmp`` atomic-write temporary older than this is an orphan
+#: from a crashed writer and safe to reap; anything younger may be
+#: another live process's in-flight write (the serve process and the
+#: CLI deliberately share one cache dir).
+_TMP_STALE_SECONDS = 60.0 * 60.0
 
 
 def _canonical(payload: Any) -> str:
@@ -116,20 +123,37 @@ class _Shard:
         except OSError:
             return 0
 
-    def _clean_stale_tmp(self) -> None:
-        """Remove orphaned atomic-write temporaries.
+    def _tmp_path(self, target: Path) -> Path:
+        """The atomic-write temporary for ``target``, unique per
+        process — concurrent writers sharing one cache dir (the serve
+        process plus a CLI run) must never clobber each other's
+        in-flight temporary."""
+        return target.with_suffix(f".jsonl.{os.getpid()}.tmp")
 
-        :meth:`_write_index` and :meth:`compact` write a ``*.jsonl.tmp``
-        and then ``os.replace`` it into place; a crash between the two
-        strands the temporary forever (the replace never happens
-        again under that name).  Readonly handles skip the cleanup —
-        a readonly store performs no writes of any kind.
+    def _clean_stale_tmp(self) -> None:
+        """Remove *stale* orphaned atomic-write temporaries.
+
+        :meth:`_write_index` and :meth:`compact` write a pid-suffixed
+        ``*.tmp`` and then ``os.replace`` it into place; a crash
+        between the two strands the temporary forever (the replace
+        never happens again under that name).  Only temporaries older
+        than :data:`_TMP_STALE_SECONDS` are reaped — a younger one may
+        belong to another live process mid-write, and deleting it
+        would make that process's ``os.replace`` fail.  Readonly
+        handles skip the cleanup entirely — a readonly store performs
+        no writes of any kind.
         """
         if self.readonly:
             return
-        for target in (self.index_path, self.data_path):
+        cutoff = time.time() - _TMP_STALE_SECONDS
+        try:
+            candidates = list(self.directory.glob("*.tmp"))
+        except OSError:
+            return
+        for path in candidates:
             try:
-                target.with_suffix(".jsonl.tmp").unlink(missing_ok=True)
+                if path.stat().st_mtime <= cutoff:
+                    path.unlink()
             except OSError:
                 pass  # e.g. an unwritable directory: harmless leftover
 
@@ -210,7 +234,7 @@ class _Shard:
         return index
 
     def _write_index(self, index: Mapping[str, tuple[int, int]]) -> None:
-        tmp = self.index_path.with_suffix(".jsonl.tmp")
+        tmp = self._tmp_path(self.index_path)
         with tmp.open("w") as handle:
             for digest, (offset, length) in index.items():
                 handle.write(
@@ -322,7 +346,7 @@ class _Shard:
                 except json.JSONDecodeError:
                     continue
                 records.append((digest, raw))
-        tmp = self.data_path.with_suffix(".jsonl.tmp")
+        tmp = self._tmp_path(self.data_path)
         new_index: dict[str, tuple[int, int]] = {}
         offset = 0
         with tmp.open("wb") as handle:

@@ -278,6 +278,10 @@ class Job:
         #: ``{"type": <exception class name>, "message": <one line>}``
         #: for failed/cancelled jobs, ``None`` otherwise.
         self.error: dict[str, str] | None = None
+        #: The original exception object behind a FAILED state, so a
+        #: synchronous caller that rode someone else's execution can
+        #: still re-raise the real thing.
+        self._exception: BaseException | None = None
         self.result: ExperimentResult | None = None
         self.created = time.time()
         self.started: float | None = None
@@ -433,21 +437,35 @@ class JobRunner:
         """Synchronous execution path for an already-built experiment
         (what the CLI uses for every subcommand, ``sweep`` included)."""
         job_id = derive_job_id(experiment, scale)
-        with self._lock:
-            existing = self._jobs.get(job_id)
-            if existing is not None:
+        while True:
+            with self._lock:
+                existing = self._jobs.get(job_id)
+                if existing is None or existing.state in (
+                    JobState.FAILED, JobState.CANCELLED,
+                ):
+                    job = Job(job_id, experiment, scale)
+                    self._jobs[job_id] = job
+                    break
                 if existing.state == JobState.DONE:
                     return existing
-                if not existing.wait(timeout=0) and existing.state in (
-                    JobState.QUEUED, JobState.RUNNING,
-                ):
-                    # A background duplicate is in flight; ride it.
-                    existing.wait()
-                    if existing.state == JobState.DONE:
-                        return existing
-            job = Job(job_id, experiment, scale)
-            self._jobs[job_id] = job
-        self._execute(job, reraise=True)
+            # A background duplicate is queued or running: ride it.
+            # The wait must happen *outside* the lock — the drain
+            # worker needs the lock to claim a queued job, so waiting
+            # while holding it deadlocks (and would freeze every other
+            # runner operation for the length of the sweep).
+            existing.wait()
+            if existing.state == JobState.DONE:
+                return existing
+            # It failed or was cancelled while we waited; loop to
+            # re-check the registry and retry under the same id
+            # (partial results are already cached, so it resumes).
+        if not self._execute(job, reraise=True):
+            # A racing claimer — the drain worker on a stale queue
+            # entry, or a cancel — got the fresh job first; ride its
+            # outcome instead, preserving re-raise semantics.
+            job.wait()
+            if job.state == JobState.FAILED and job._exception is not None:
+                raise job._exception
         return job
 
     def cancel(self, job_id: str) -> Job:
@@ -516,7 +534,10 @@ class JobRunner:
                 return
             with self._lock:
                 job = self._jobs.get(job_id)
-            # Skip ids that were cancelled while queued or superseded.
+            # Skip ids that were cancelled while queued or superseded
+            # (a cheap pre-check; :meth:`_execute` re-checks the state
+            # under the lock before claiming, so a cancel that races
+            # past this line is still honoured).
             if job is None or job.state != JobState.QUEUED:
                 continue
             self._execute(job)
@@ -525,9 +546,17 @@ class JobRunner:
         if self.on_progress is not None:
             self.on_progress(job)
 
-    def _execute(self, job: Job, reraise: bool = False) -> None:
-        job.started = time.time()
-        job.state = JobState.RUNNING
+    def _execute(self, job: Job, reraise: bool = False) -> bool:
+        """Run ``job`` to a terminal state; returns whether this call
+        claimed the execution.  The ``queued → running`` transition is
+        atomic under the runner lock, so a cancel that landed while
+        the job sat in the queue stays cancelled and two threads can
+        never both execute the same job."""
+        with self._lock:
+            if job.state != JobState.QUEUED:
+                return False
+            job.started = time.time()
+            job.state = JobState.RUNNING
         engine = SweepEngine(
             workers=self.workers,
             cache=self._store,
@@ -547,6 +576,7 @@ class JobRunner:
             job.result = job._experiment.aggregate(
                 RawRun(sweeps=tuple(results), scale=job._scale)
             )
+            job.error = None  # a DONE job never carries an error
             job._finish(JobState.DONE)
         except SweepCancelled as exc:
             job.error = {"type": "SweepCancelled", "message": str(exc)}
@@ -561,6 +591,7 @@ class JobRunner:
             job._finish(JobState.CANCELLED)
             raise
         except Exception as exc:
+            job._exception = exc
             job.error = {
                 "type": type(exc).__name__,
                 "message": " ".join(str(exc).split()),
@@ -570,6 +601,7 @@ class JobRunner:
                 raise
         finally:
             self._notify(job)
+        return True
 
     def _point_computed(self, job: Job) -> None:
         job.computed_points += 1

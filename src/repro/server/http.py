@@ -41,6 +41,8 @@ _REASONS = {
     405: "Method Not Allowed",
     409: "Conflict",
     413: "Payload Too Large",
+    414: "URI Too Long",
+    431: "Request Header Fields Too Large",
     500: "Internal Server Error",
 }
 
@@ -62,7 +64,13 @@ async def read_request(
     :class:`BadRequest` for malformed framing or non-JSON bodies and
     :class:`ConnectionError` for a peer that vanished mid-request.
     """
-    request_line = await reader.readline()
+    # StreamReader.readline raises ValueError (from LimitOverrunError)
+    # when a line exceeds the reader's limit (64 KiB by default); map
+    # that to a 4xx instead of dropping the connection responseless.
+    try:
+        request_line = await reader.readline()
+    except (ValueError, asyncio.LimitOverrunError):
+        raise BadRequest(414, "request line too long") from None
     if not request_line:
         raise ConnectionError("peer closed before sending a request")
     try:
@@ -73,7 +81,10 @@ async def read_request(
         raise BadRequest(400, "malformed request line") from None
     headers: dict[str, str] = {}
     while True:
-        line = await reader.readline()
+        try:
+            line = await reader.readline()
+        except (ValueError, asyncio.LimitOverrunError):
+            raise BadRequest(431, "header line too long") from None
         if line in (b"\r\n", b"\n", b""):
             break
         name, _, value = line.decode("latin-1").partition(":")

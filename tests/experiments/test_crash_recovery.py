@@ -5,8 +5,10 @@ died (OOM-killed, ^C) is reaped and respawned — or falls back to
 serial — instead of poisoning every later sweep with
 ``BrokenProcessPool``; a ``readonly=True`` store never writes, even
 when it has to rebuild its index on a chmod-0555 cache dir; and
-orphaned ``*.jsonl.tmp`` files from a crash between tmp-write and
-``os.replace`` are cleaned up on the next writable open.
+orphaned ``*.tmp`` files from a crash between tmp-write and
+``os.replace`` are cleaned up on the next writable open — but only
+once stale, so a live concurrent writer's in-flight temporary is
+never reaped out from under it.
 """
 
 from __future__ import annotations
@@ -24,7 +26,7 @@ from repro.experiments.pool import (
     get_shared_pool,
     shutdown_shared_pool,
 )
-from repro.experiments.store import ResultStore
+from repro.experiments.store import _TMP_STALE_SECONDS, ResultStore
 
 
 def _double(x):
@@ -255,17 +257,51 @@ class TestReadonlyStoreNeverWrites:
             _unlock_tree(cache)
 
 
+def _age(path, seconds: float) -> None:
+    """Backdate ``path``'s mtime by ``seconds``."""
+    stamp = path.stat().st_mtime - seconds
+    os.utime(path, (stamp, stamp))
+
+
 class TestTornTmpCleanup:
-    def test_orphaned_index_tmp_is_removed_on_open(self, tmp_path):
+    def test_stale_orphaned_index_tmp_is_removed_on_open(self, tmp_path):
         cache = tmp_path / "cache"
         store = ResultStore(cache)
         store.put("kind", {"x": 1}, {"v": 1})
         shard_dir = next(p.parent for p in cache.rglob("data.jsonl"))
         torn = shard_dir / "index.jsonl.tmp"
         torn.write_text('{"torn": "garbage from a crashed writer"\n')
+        _age(torn, _TMP_STALE_SECONDS + 60)
 
         reopened = ResultStore(cache)
         assert reopened.get("kind", {"x": 1}) == {"v": 1}
+        assert not torn.exists()
+
+    def test_fresh_tmp_from_live_writer_is_left_alone(self, tmp_path):
+        # The serve process and the CLI share one cache dir; a young
+        # tmp may be another process's in-flight atomic write, and
+        # reaping it would break that process's os.replace mid-write.
+        cache = tmp_path / "cache"
+        store = ResultStore(cache)
+        store.put("kind", {"x": 1}, {"v": 1})
+        shard_dir = next(p.parent for p in cache.rglob("data.jsonl"))
+        in_flight = shard_dir / "index.jsonl.99999.tmp"
+        in_flight.write_text("{}\n")
+
+        reopened = ResultStore(cache)
+        assert reopened.get("kind", {"x": 1}) == {"v": 1}
+        assert in_flight.exists()
+
+    def test_stale_pid_suffixed_tmp_is_removed_on_open(self, tmp_path):
+        cache = tmp_path / "cache"
+        store = ResultStore(cache)
+        store.put("kind", {"x": 1}, {"v": 1})
+        shard_dir = next(p.parent for p in cache.rglob("data.jsonl"))
+        torn = shard_dir / "data.jsonl.99999.tmp"
+        torn.write_text("{}\n")
+        _age(torn, _TMP_STALE_SECONDS + 60)
+
+        ResultStore(cache).get("kind", {"x": 1})
         assert not torn.exists()
 
     def test_readonly_open_leaves_torn_tmp_alone(self, tmp_path):
@@ -275,6 +311,7 @@ class TestTornTmpCleanup:
         shard_dir = next(p.parent for p in cache.rglob("data.jsonl"))
         torn = shard_dir / "index.jsonl.tmp"
         torn.write_text("{}\n")
+        _age(torn, _TMP_STALE_SECONDS + 60)
 
         readonly = ResultStore(cache, readonly=True)
         assert readonly.get("kind", {"x": 1}) == {"v": 1}

@@ -189,6 +189,57 @@ class TestSubmitLifecycle:
             assert resumed.state == JobState.DONE
             assert resumed.cached_points >= job.computed_points
 
+    def test_run_experiment_rides_a_background_duplicate(self, tmp_path):
+        # Regression: waiting on a queued/running duplicate must not
+        # hold the runner lock — the drain worker needs it to start
+        # the queued job, so an in-lock wait deadlocked forever.
+        with JobRunner(cache_dir=tmp_path / "cache") as runner:
+            submitted = runner.submit(mini_request())
+            experiment, scale = mini_request().build()
+            job = runner.run_experiment(experiment, scale)
+            assert job.id == submitted.id
+            assert job.state == JobState.DONE
+
+    def test_execute_never_resurrects_a_cancelled_job(self, tmp_path):
+        # Regression: a cancel landing between the drain worker's
+        # queue pop and its state check used to be lost — the job ran
+        # anyway and flipped back to running.  The queued → running
+        # claim is atomic now, so execution is simply refused.
+        from repro.jobs.runner import Job
+
+        runner = JobRunner(cache_dir=tmp_path / "cache")
+        experiment, scale = mini_request().build()
+        job = Job(derive_job_id(experiment, scale), experiment, scale)
+        runner._jobs[job.id] = job
+        runner.cancel(job.id)
+        assert job.state == JobState.CANCELLED
+        assert runner._execute(job) is False
+        assert job.state == JobState.CANCELLED
+        assert job.error["type"] == "SweepCancelled"
+        runner.close()
+
+    def test_cancelled_job_reports_cancelled_even_on_warm_cache(
+        self, tmp_path
+    ):
+        # A warm cache could serve every point without computing, but
+        # a cancelled job must still honour the cancel — not complete
+        # done with a cancellation error attached.
+        cache = tmp_path / "cache"
+        with JobRunner(cache_dir=cache) as warmup:
+            assert warmup.run(mini_request()).state == JobState.DONE
+
+        from repro.jobs.runner import Job
+
+        runner = JobRunner(cache_dir=cache)
+        experiment, scale = mini_request().build()
+        job = Job(derive_job_id(experiment, scale), experiment, scale)
+        job._cancel.set()  # cancel requested before execution begins
+        runner._jobs[job.id] = job
+        runner._execute(job)
+        assert job.state == JobState.CANCELLED
+        assert job.error["type"] == "SweepCancelled"
+        runner.close()
+
     def test_failure_is_captured_as_typed_error(self, tmp_path):
         experiment, scale = mini_request().build()
 

@@ -96,6 +96,24 @@ class TestReadRequest:
         with pytest.raises(ConnectionError):
             parse(b"")
 
+    def test_overlong_request_line_is_a_bad_request(self):
+        # Past the StreamReader line limit (64 KiB default), readline
+        # raises ValueError — which must surface as a 4xx response,
+        # not an unhandled exception that drops the connection.
+        raw = b"GET /" + b"a" * (128 * 1024) + b" HTTP/1.1\r\n\r\n"
+        with pytest.raises(BadRequest) as err:
+            parse(raw)
+        assert err.value.status == 414
+
+    def test_overlong_header_line_is_a_bad_request(self):
+        raw = (
+            b"GET / HTTP/1.1\r\n"
+            b"X-Huge: " + b"b" * (128 * 1024) + b"\r\n\r\n"
+        )
+        with pytest.raises(BadRequest) as err:
+            parse(raw)
+        assert err.value.status == 431
+
 
 class TestRenderResponse:
     def test_status_line_and_framing(self):
@@ -123,6 +141,9 @@ class TestRenderResponse:
             (404, b"Not Found"),
             (405, b"Method Not Allowed"),
             (409, b"Conflict"),
+            (413, b"Payload Too Large"),
+            (414, b"URI Too Long"),
+            (431, b"Request Header Fields Too Large"),
             (500, b"Internal Server Error"),
         ):
             assert render_response(status, {}).startswith(

@@ -561,6 +561,33 @@ class TestTypedErrorsAndWorkersValidation:
         assert excinfo.value.code == 2
         assert "positive worker count" in capsys.readouterr().err
 
+    def test_serve_bind_failure_is_one_typed_line_exit_1(
+        self, tmp_path, capsys
+    ):
+        import socket
+
+        blocker = socket.socket()
+        try:
+            blocker.bind(("127.0.0.1", 0))
+            blocker.listen(1)
+            port = blocker.getsockname()[1]
+            with pytest.raises(SystemExit) as excinfo:
+                main([
+                    "serve", "--host", "127.0.0.1",
+                    "--port", str(port),
+                    "--cache-dir", str(tmp_path / "cache"),
+                ])
+            assert excinfo.value.code == 1
+            err = capsys.readouterr().err
+            assert "Traceback" not in err
+            # The startup banner precedes the failure; the typed
+            # one-liner is the last thing on stderr.
+            assert err.strip().splitlines()[-1].startswith(
+                "repro-hydra: OSError:"
+            )
+        finally:
+            blocker.close()
+
     def test_unknown_allocator_is_one_typed_line_exit_1(
         self, tmp_path, capsys
     ):
