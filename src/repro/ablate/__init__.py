@@ -1,0 +1,56 @@
+"""Automated ablation & component-importance studies.
+
+The registries enumerate every swappable component — placement
+heuristics, task orderings, admission tests, allocators, workload
+families — which is exactly the input an ablation study needs.  This
+package turns the paper's hand-built Sec. VI comparisons into a
+generic facility:
+
+* :mod:`repro.ablate.config` — the TOML schema (``[ablation]`` +
+  ``[baseline]`` + optional ``[sweep]``), validated by *reusing* the
+  scenario-sweep parser.
+* :mod:`repro.ablate.runset` — deterministic baseline-plus-swap-one
+  run-set generation with stable content-addressed run ids.
+* :mod:`repro.ablate.experiment` — :class:`AblationExperiment`, the
+  study on the standard experiment protocol (parallel, cancellable,
+  cached through the engine), producing a ranked
+  :class:`AblationResult` with harmful-component flagging.  The
+  scoring arithmetic lives in :mod:`repro.metrics.importance`.
+
+Run one with ``repro-hydra ablate --config examples/ablate.toml`` or
+submit the same document to the job service (``POST /jobs``); both
+paths share cache keys, so reruns are served entirely from cache.
+"""
+
+from repro.ablate.config import (
+    AXES,
+    AblationConfig,
+    axis_components,
+    load_ablation,
+    parse_ablation,
+)
+from repro.ablate.experiment import (
+    METRICS,
+    AblationExperiment,
+    AblationResult,
+    ComponentReport,
+    RunSummary,
+)
+from repro.ablate.runset import AblationRun, SkippedVariant, run_id, run_set
+
+__all__ = [
+    "AXES",
+    "METRICS",
+    "AblationConfig",
+    "AblationExperiment",
+    "AblationResult",
+    "AblationRun",
+    "ComponentReport",
+    "RunSummary",
+    "SkippedVariant",
+    "axis_components",
+    "load_ablation",
+    "parse_ablation",
+    "run_id",
+    "run_set",
+]

@@ -16,6 +16,7 @@ plugin) gets its own subcommand, plus three meta commands::
     repro-hydra ablations
     repro-hydra all --scale smoke --resume
     repro-hydra sweep --config examples/custom_sweep.toml
+    repro-hydra ablate --config examples/ablate.toml
 
 Sweeps run through the :class:`repro.experiments.parallel.SweepEngine`:
 ``--workers N`` fans utilisation points over N processes (results are
@@ -56,7 +57,10 @@ tabular view, and ``--output FILE`` writes either to a file instead of
 stdout.  ``repro-hydra sweep --config spec.toml`` runs a user-defined
 scenario grid (allocator × heuristic × ordering × admission × core
 count) with no driver code at all — see
-:mod:`repro.experiments.scenario`; ``--allocator NAME`` and
+:mod:`repro.experiments.scenario`; ``repro-hydra ablate --config
+doc.toml`` runs an automated swap-one ablation study over the same
+machinery and reports ranked per-component importance scores — see
+:mod:`repro.ablate`; ``--allocator NAME`` and
 ``--workload NAME`` (both repeatable) override the grid's allocator
 and workload axes from the command line, and ``repro-hydra
 allocators`` / ``repro-hydra workloads`` list/describe every strategy
@@ -90,8 +94,8 @@ DEFAULT_CACHE_DIR = ".repro-cache"
 
 #: Meta commands that are not registry experiments.
 _META_COMMANDS = (
-    "list", "allocators", "workloads", "all", "ablations", "sweep", "cache",
-    "serve",
+    "list", "allocators", "workloads", "all", "ablations", "sweep",
+    "ablate", "cache", "serve",
 )
 
 _FORMATS = ("text", "json", "csv")
@@ -215,6 +219,15 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("text", "json"),
         help="'text' for a table, 'json' for machine-readable specs",
     )
+    list_parser.add_argument(
+        "--tag",
+        default=None,
+        metavar="TAG",
+        help=(
+            "only list experiments carrying this spec tag (e.g. "
+            "'paper', 'ablation')"
+        ),
+    )
 
     allocators = subparsers.add_parser(
         "allocators",
@@ -319,6 +332,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_run_options(sweep)
 
+    ablate = subparsers.add_parser(
+        "ablate",
+        help="run an automated ablation / component-importance study",
+        description=(
+            "Run a swap-one ablation study from a TOML config: the "
+            "baseline design point plus one variant per registered "
+            "component on every ablated axis, executed through the "
+            "parallel/cached engine, scored and ranked by component "
+            "importance (harmful components flagged explicitly)."
+        ),
+    )
+    ablate.add_argument(
+        "--config",
+        metavar="FILE",
+        required=True,
+        help="ablation TOML file (see examples/ablate.toml)",
+    )
+    ablate.add_argument(
+        "--axis",
+        action="append",
+        default=None,
+        metavar="AXIS",
+        choices=("heuristic", "ordering", "admission", "allocator",
+                 "workload"),
+        help=(
+            "ablate only this axis (repeatable); overrides the "
+            "config's 'axes' list"
+        ),
+    )
+    _add_run_options(ablate)
+
     cache = subparsers.add_parser(
         "cache",
         help="inspect, migrate, or compact an on-disk result store",
@@ -418,9 +462,15 @@ def _selected_experiments(args) -> list["Experiment"]:
     if args.experiment == "all":
         return list(iter_experiments())
     if args.experiment == "ablations":
-        return [
-            e for e in iter_experiments() if "ablation" in e.spec().tags
-        ]
+        # The registry-level tag filter (same path as `list --tag`).
+        return list(iter_experiments(tag="ablation"))
+    if args.experiment == "ablate":
+        from repro.ablate import AblationExperiment, load_ablation
+
+        config = load_ablation(args.config)
+        if args.axis:
+            config = config.with_axes(args.axis)
+        return [AblationExperiment(config)]
     if args.experiment == "sweep":
         from repro.experiments.scenario import (
             ScenarioExperiment,
@@ -457,10 +507,16 @@ def _one_line(text: str, limit: int = 72) -> str:
 def _run_list(args) -> int:
     from repro.experiments.reporting import format_table
 
-    specs = [e.spec() for e in iter_experiments()]
+    specs = [e.spec() for e in iter_experiments(tag=args.tag)]
     if args.output_format == "json":
         print(json.dumps([s.to_dict() for s in specs], indent=2))
         return 0
+    title = "Registered experiments (run with 'repro-hydra <name>')"
+    if args.tag is not None:
+        title = (
+            f"Registered experiments tagged {args.tag!r} "
+            f"(run with 'repro-hydra <name>')"
+        )
     print(
         format_table(
             ["name", "description", "tags"],
@@ -468,12 +524,13 @@ def _run_list(args) -> int:
                 (s.name, _one_line(s.description or s.title), ",".join(s.tags))
                 for s in specs
             ],
-            title="Registered experiments (run with 'repro-hydra <name>')",
+            title=title,
         )
     )
     print(
         "\nmeta commands: allocators, workloads, ablations, all, "
-        "sweep --config FILE (TOML scenario grid)"
+        "sweep --config FILE (TOML scenario grid), "
+        "ablate --config FILE (ablation study)"
     )
     return 0
 

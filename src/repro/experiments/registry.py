@@ -130,8 +130,15 @@ def experiment_names() -> list[str]:
     return _sorted_names()
 
 
-def iter_experiments() -> Iterator[Experiment]:
-    """Fresh instances of every registered experiment, in report order."""
+def iter_experiments(tag: str | None = None) -> Iterator[Experiment]:
+    """Fresh instances of every registered experiment, in report order.
+
+    ``tag`` filters on the experiments' declared spec tags (exact
+    match) — the registry-level form of ``repro-hydra list --tag``;
+    ``None`` keeps everything.
+    """
     _ensure_builtin_experiments()
     for name in _sorted_names():
-        yield _REGISTRY[name]()
+        experiment = _REGISTRY[name]()
+        if tag is None or tag in experiment.spec().tags:
+            yield experiment

@@ -5,11 +5,12 @@ the test suite, and an HTTP server all share — otherwise "submit a
 sweep to the server" and "run the sweep locally" drift apart.  This
 module provides that path:
 
-* :class:`JobRequest` — a plain-JSON description of *what* to run:
-  either a registered experiment name (``fig2``, ``table1`` …) or a
-  scenario sweep document (the exact TOML-grid schema of
-  ``repro-hydra sweep --config``, as a dict), plus scale/seed and the
-  CLI's ``--allocator``/``--workload`` overrides.
+* :class:`JobRequest` — a plain-JSON description of *what* to run: a
+  registered experiment name (``fig2``, ``table1`` …), a scenario
+  sweep document (the exact TOML-grid schema of ``repro-hydra sweep
+  --config``, as a dict), or an ablation study document (the schema
+  of ``repro-hydra ablate --config`` — see :mod:`repro.ablate`), plus
+  scale/seed and the CLI's ``--allocator``/``--workload`` overrides.
 * :class:`Job` — one submission's lifecycle record: ``queued →
   running → done | failed | cancelled``, per-point progress counters
   (total/computed/cached) and structured error capture.
@@ -115,9 +116,11 @@ def derive_job_id(experiment: Experiment, scale: ExperimentScale) -> str:
 class JobRequest:
     """A plain-JSON description of one job submission.
 
-    Exactly one of ``experiment`` (a registered experiment name) or
+    Exactly one of ``experiment`` (a registered experiment name),
     ``spec`` (a scenario sweep document — the TOML-grid schema of
-    ``repro-hydra sweep --config``, as a dict) must be given.
+    ``repro-hydra sweep --config``, as a dict) or ``ablation`` (an
+    ablation study document — the schema of ``repro-hydra ablate
+    --config``, as a dict) must be given.
     ``allocators``/``workloads`` mirror the CLI's repeatable
     ``--allocator``/``--workload`` grid overrides and only apply to
     ``spec`` submissions.
@@ -125,21 +128,24 @@ class JobRequest:
 
     experiment: str | None = None
     spec: Mapping[str, Any] | None = None
+    ablation: Mapping[str, Any] | None = None
     scale: str | None = None
     seed: int | None = None
     allocators: tuple[str, ...] | None = None
     workloads: tuple[str, ...] | None = None
 
     def __post_init__(self) -> None:
-        if (self.experiment is None) == (self.spec is None):
+        given = sum(
+            source is not None
+            for source in (self.experiment, self.spec, self.ablation)
+        )
+        if given != 1:
             raise ValidationError(
                 "a job request needs exactly one of 'experiment' (a "
-                "registered experiment name) or 'spec' (a sweep "
-                "document)"
+                "registered experiment name), 'spec' (a sweep "
+                "document) or 'ablation' (an ablation study document)"
             )
-        if self.experiment is not None and (
-            self.allocators or self.workloads
-        ):
+        if self.spec is None and (self.allocators or self.workloads):
             raise ValidationError(
                 "allocator/workload overrides only apply to 'spec' "
                 "(scenario sweep) submissions"
@@ -151,21 +157,29 @@ class JobRequest:
 
         Two shapes are accepted: an envelope —
         ``{"spec": {...}, "scale": "smoke", "seed": 7,
-        "allocator": [...], "workload": [...]}`` or
-        ``{"experiment": "fig2", ...}`` — and, for convenience, a bare
-        sweep document (anything with a top-level ``grid`` table).
-        Every rejection is a typed error naming the offending key.
+        "allocator": [...], "workload": [...]}``,
+        ``{"ablation": {...}, ...}`` or ``{"experiment": "fig2", ...}``
+        — and, for convenience, a bare document: anything with a
+        top-level ``baseline`` table is an ablation study, anything
+        with a top-level ``grid`` table a sweep.  (The ablation check
+        runs first — an ablation doc may carry its own ``[sweep]``
+        overrides table.)  Every rejection is a typed error naming the
+        offending key.
         """
         if not isinstance(body, Mapping):
             raise ValidationError(
                 f"a job submission must be a JSON object, got "
                 f"{type(body).__name__}"
             )
+        if "baseline" in body:
+            # A bare ablation document; ablation parsing validates it.
+            return cls(ablation=dict(body))
         if "grid" in body or "sweep" in body:
             # A bare TOML-grid document; scenario parsing validates it.
             return cls(spec=dict(body))
         known = {
-            "experiment", "spec", "scale", "seed", "allocator", "workload",
+            "experiment", "spec", "ablation", "scale", "seed",
+            "allocator", "workload",
         }
         unknown = set(body) - known
         if unknown:
@@ -201,9 +215,16 @@ class JobRequest:
             raise ValidationError(
                 "job request 'spec' must be a sweep document (object)"
             )
+        ablation = body.get("ablation")
+        if ablation is not None and not isinstance(ablation, Mapping):
+            raise ValidationError(
+                "job request 'ablation' must be an ablation study "
+                "document (object)"
+            )
         return cls(
             experiment=experiment,
             spec=dict(spec) if spec is not None else None,
+            ablation=dict(ablation) if ablation is not None else None,
             scale=scale,
             seed=seed,
             allocators=names("allocator"),
@@ -217,6 +238,8 @@ class JobRequest:
             doc["experiment"] = self.experiment
         if self.spec is not None:
             doc["spec"] = dict(self.spec)
+        if self.ablation is not None:
+            doc["ablation"] = dict(self.ablation)
         if self.scale is not None:
             doc["scale"] = self.scale
         if self.seed is not None:
@@ -240,6 +263,10 @@ class JobRequest:
             from repro.experiments.registry import get_experiment
 
             return get_experiment(self.experiment), scale
+        if self.ablation is not None:
+            from repro.ablate import AblationExperiment, parse_ablation
+
+            return AblationExperiment(parse_ablation(self.ablation)), scale
         from repro.experiments.scenario import (
             ScenarioExperiment,
             parse_scenario,

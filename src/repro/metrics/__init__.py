@@ -4,10 +4,18 @@
 * :mod:`repro.metrics.acceptance` — Fig. 2's acceptance ratio.
 * :mod:`repro.metrics.improvement` — scheme-vs-scheme comparisons.
 * :mod:`repro.metrics.cdf` — Fig. 1's empirical CDF.
+* :mod:`repro.metrics.importance` — ablation component-importance
+  scoring (Sec. VI design-space study, generalised).
 """
 
 from repro.metrics.acceptance import AcceptanceCounter, acceptance_ratio
 from repro.metrics.cdf import EmpiricalCDF
+from repro.metrics.importance import (
+    ImportanceScore,
+    rank_scores,
+    score_swap,
+    swap_verdict,
+)
 from repro.metrics.improvement import (
     acceptance_improvement,
     detection_speedup,
@@ -22,6 +30,10 @@ from repro.metrics.tightness import (
 __all__ = [
     "EmpiricalCDF",
     "AcceptanceCounter",
+    "ImportanceScore",
+    "score_swap",
+    "swap_verdict",
+    "rank_scores",
     "acceptance_ratio",
     "acceptance_improvement",
     "detection_speedup",

@@ -1,0 +1,153 @@
+"""Ablation TOML parsing and validation."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.ablate import AXES, load_ablation, parse_ablation
+from repro.errors import ValidationError
+
+
+def _doc(**overrides):
+    document = {
+        "ablation": {"name": "study"},
+        "baseline": {"cores": [2]},
+    }
+    document.update(overrides)
+    return document
+
+
+class TestParseAblation:
+    def test_minimal_document_defaults_to_paper_design_point(self):
+        config = parse_ablation(_doc())
+        assert config.name == "study"
+        assert config.axes == AXES
+        baseline = config.baseline
+        assert baseline.cores == (2,)
+        assert baseline.heuristics == ("best-fit",)
+        assert baseline.orderings == ("utilization",)
+        assert baseline.admissions == ("rta",)
+        assert baseline.allocators == ("hydra",)
+        assert baseline.workloads == ("paper-synthetic",)
+        # Both axes explicit: every cell label names the full design
+        # point, and the batch-generation path is uniform across runs.
+        assert baseline.allocator_axis
+        assert baseline.workload_axis
+
+    def test_baseline_components_and_axes_are_honoured(self):
+        config = parse_ablation(
+            {
+                "ablation": {"name": "s", "axes": ["ordering", "heuristic"]},
+                "baseline": {
+                    "cores": [2, 4],
+                    "heuristic": "worst-fit",
+                    "ordering": "rm",
+                },
+            }
+        )
+        # canonical AXES order, not document order
+        assert config.axes == ("heuristic", "ordering")
+        assert config.baseline_component("heuristic") == "worst-fit"
+        assert config.baseline_component("ordering") == "rm"
+        assert config.baseline.cores == (2, 4)
+
+    def test_sweep_overrides_flow_into_baseline(self):
+        config = parse_ablation(
+            _doc(
+                sweep={
+                    "seed": 7,
+                    "tasksets_per_point": 3,
+                    "utilization": {"start": 0.5, "stop": 1.0, "step": 0.25},
+                }
+            )
+        )
+        assert config.baseline.seed == 7
+        assert config.baseline.tasksets_per_point == 3
+        assert config.baseline.utilization_start == 0.5
+        assert config.baseline.utilization_stop == 1.0
+
+    @pytest.mark.parametrize(
+        "document, match",
+        [
+            ({"bogus": {}}, "unknown top-level"),
+            ({"ablation": {"bogus": 1}, "baseline": {"cores": [2]}},
+             r"unknown \[ablation\] key"),
+            ({"ablation": {"name": ""}, "baseline": {"cores": [2]}},
+             "name must be a non-empty string"),
+            ({"baseline": {"cores": [2]},
+              "ablation": {"axes": ["bogus"]}}, "axis 'bogus' is unknown"),
+            ({"baseline": {"cores": [2]},
+              "ablation": {"axes": ["ordering", "ordering"]}},
+             "more than once"),
+            ({"baseline": {"cores": [2]}, "ablation": {"axes": []}},
+             "at least one axis"),
+            ({}, r"missing \[baseline\]"),
+            ({"baseline": {"cores": [2], "bogus": "x"}},
+             r"unknown \[baseline\] key"),
+            ({"baseline": {"cores": [2], "heuristic": ["best-fit"]}},
+             "single component name"),
+            ({"baseline": {"cores": [2]}, "sweep": {"name": "x"}},
+             r"unknown \[sweep\] key"),
+        ],
+    )
+    def test_rejections_are_typed_and_name_the_key(self, document, match):
+        with pytest.raises(ValidationError, match=match):
+            parse_ablation(document)
+
+    def test_baseline_membership_reuses_scenario_validation(self):
+        # Unknown component names fail through the shared scenario
+        # validator, with its exact wording.
+        with pytest.raises(ValidationError, match="unknown value"):
+            parse_ablation(
+                {"baseline": {"cores": [2], "heuristic": "bogus-fit"}}
+            )
+        with pytest.raises(ValidationError, match="cores"):
+            parse_ablation({"baseline": {}})
+        # singlecore baseline on <2 cores is the scenario config's own
+        # typed rejection.
+        with pytest.raises(ValidationError, match="singlecore"):
+            parse_ablation(
+                {"baseline": {"cores": [1], "allocator": "singlecore"}}
+            )
+
+    def test_with_axes_filters_and_validates(self):
+        config = parse_ablation(_doc())
+        assert config.with_axes(["workload", "heuristic"]).axes == (
+            "heuristic", "workload",
+        )
+        with pytest.raises(ValidationError, match="unknown"):
+            config.with_axes(["bogus"])
+        with pytest.raises(ValidationError, match="more than once"):
+            config.with_axes(["ordering", "ordering"])
+
+
+class TestLoadAblation:
+    def test_round_trip_through_file(self, tmp_path):
+        path = tmp_path / "study.toml"
+        path.write_text(
+            '[ablation]\nname = "file-study"\naxes = ["admission"]\n'
+            "[baseline]\ncores = [2]\n"
+        )
+        config = load_ablation(path)
+        assert config.name == "file-study"
+        assert config.axes == ("admission",)
+
+    def test_missing_file_is_typed(self, tmp_path):
+        with pytest.raises(ValidationError, match="cannot read"):
+            load_ablation(tmp_path / "nope.toml")
+
+    def test_bad_toml_is_typed(self, tmp_path):
+        path = tmp_path / "bad.toml"
+        path.write_text("[ablation\n")
+        with pytest.raises(ValidationError, match="not valid TOML"):
+            load_ablation(path)
+
+    def test_example_document_parses(self):
+        example = (
+            Path(__file__).resolve().parents[2] / "examples" / "ablate.toml"
+        )
+        config = load_ablation(example)
+        assert config.name == "paper-baseline"
+        assert "allocator" not in config.axes

@@ -111,6 +111,23 @@ class TestList:
         assert [s["name"] for s in specs] == experiment_names()
         assert all("title" in s and "version" in s for s in specs)
 
+    def test_tag_filters_the_listing(self, capsys):
+        assert main(["list", "--tag", "ablation"]) == 0
+        out = capsys.readouterr().out
+        assert "'ablation'" in out
+        assert "ablation-solver" in out
+        assert "fig2" not in out
+
+    def test_tag_filters_json_too(self, capsys):
+        assert main(["list", "--tag", "paper", "--format", "json"]) == 0
+        specs = json.loads(capsys.readouterr().out)
+        assert specs  # the paper experiments exist
+        assert all("paper" in s["tags"] for s in specs)
+
+    def test_unknown_tag_lists_nothing(self, capsys):
+        assert main(["list", "--tag", "no-such-tag", "--format", "json"]) == 0
+        assert json.loads(capsys.readouterr().out) == []
+
 
 class TestOutputFormats:
     def test_json_to_stdout(self, capsys):
@@ -199,6 +216,88 @@ class TestSweepCommand:
     def test_missing_config_file_is_reported(self, tmp_path, capsys):
         with pytest.raises(SystemExit):
             main(["sweep", "--config", str(tmp_path / "absent.toml")])
+        assert "cannot read" in capsys.readouterr().err
+
+
+class TestAblateCommand:
+    def _write_config(self, tmp_path, text: str):
+        path = tmp_path / "ablate.toml"
+        path.write_text(text)
+        return str(path)
+
+    _MINI = """
+        [ablation]
+        name = "cli-ablate"
+        axes = ["ordering"]
+
+        [baseline]
+        cores = [2]
+
+        [sweep]
+        tasksets_per_point = 2
+        utilization = { start = 0.5, stop = 0.5, step = 0.5 }
+        """
+
+    def test_happy_path_renders_ranked_report(self, tmp_path, capsys):
+        config = self._write_config(tmp_path, self._MINI)
+        assert main(["ablate", "--config", config, "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "Ablation 'cli-ablate'" in out
+        assert "Importance ranking" in out
+        assert "baseline:" in out
+        # the two non-incumbent orderings appear as ranked rows
+        assert "rm" in out
+        assert "input" in out
+
+    def test_axis_filter_overrides_config(self, tmp_path, capsys):
+        config = self._write_config(tmp_path, self._MINI)
+        assert main(
+            [
+                "ablate", "--config", config, "--scale", "smoke",
+                "--axis", "heuristic",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "worst-fit" in out  # heuristic variants ran
+        assert "| rm" not in out  # ordering axis filtered away
+
+    def test_csv_format_works_for_single_study(self, tmp_path, capsys):
+        config = self._write_config(tmp_path, self._MINI)
+        assert main(
+            [
+                "ablate", "--config", config, "--scale", "smoke",
+                "--format", "csv",
+            ]
+        ) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0].startswith("rank,axis,component,run_id")
+        assert lines[1].startswith("0,baseline,")
+
+    def test_requires_config(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["ablate"])
+
+    def test_rejects_unknown_axis_at_parse_time(self, tmp_path, capsys):
+        config = self._write_config(tmp_path, self._MINI)
+        with pytest.raises(SystemExit):
+            main(["ablate", "--config", config, "--axis", "bogus"])
+
+    def test_validation_error_is_reported(self, tmp_path, capsys):
+        config = self._write_config(
+            tmp_path,
+            """
+            [baseline]
+            cores = [2]
+            heuristic = "magic-fit"
+            """,
+        )
+        with pytest.raises(SystemExit):
+            main(["ablate", "--config", config])
+        assert "magic-fit" in capsys.readouterr().err
+
+    def test_missing_config_file_is_reported(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            main(["ablate", "--config", str(tmp_path / "absent.toml")])
         assert "cannot read" in capsys.readouterr().err
 
 

@@ -19,7 +19,10 @@ pinned benchmarks cover the sweep engine's hot paths:
   AllocationResult),
 * ``test_workload_batch_generation`` — the vectorised task-set
   generation route (batched Randfixedsum table builds + one period
-  draw per sweep) behind ``generate_workload_batch``.
+  draw per sweep) behind ``generate_workload_batch``,
+* ``test_ablate_runset`` / ``test_ablate_cached_rescore`` — the
+  ablation harness's run-set expansion (config → swap-one variants →
+  content-addressed ids) and the warm-cache re-scoring loop.
 
 Raw means are meaningless across machines (the committed baseline was
 recorded on one box, CI runs on another), so every pinned mean is
@@ -34,6 +37,7 @@ Regenerate the baseline after an *intended* perf change::
         benchmarks/test_bench_micro.py benchmarks/test_bench_parallel.py \
         benchmarks/test_bench_store.py benchmarks/test_bench_allocators.py \
         benchmarks/test_bench_workloads.py \
+        benchmarks/test_bench_ablate.py \
         --benchmark-json=/tmp/bench.json -q
     python tools/check_bench.py --slim /tmp/bench.json \
         benchmarks/baselines/baseline.json
@@ -57,6 +61,8 @@ PINNED = (
     "test_store_put_many",
     "test_allocator_dispatch",
     "test_workload_batch_generation",
+    "test_ablate_runset",
+    "test_ablate_cached_rescore",
 )
 
 #: The normaliser: CPU-bound, stable, present in every gated run.

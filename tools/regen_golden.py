@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Regenerate the golden-regression fixtures.
+"""Regenerate — or drift-check — the golden-regression fixtures.
 
 Run after an *intended* behaviour change (new allocation rule, RNG
 recipe change, …) and commit the updated JSON together with the code::
@@ -12,6 +12,14 @@ the *experiment registry* — every registered experiment that declares
 a ``golden_fixture()`` contributes one file — so a new experiment's
 fixture shows up here with no list to maintain.
 
+``--check`` regenerates in memory and *diffs* against the committed
+files instead of writing: it exits non-zero (and names each drifted or
+missing fixture) when the committed JSON no longer matches what the
+code produces.  CI runs this so a behaviour change that forgot to
+regenerate — or a fixture edited by hand — fails fast::
+
+    PYTHONPATH=src python tools/regen_golden.py --check
+
 The fixtures live in ``tests/experiments/golden/`` and are asserted by
 ``tests/experiments/test_golden.py`` in both serial and parallel
 engine modes; see ``repro.experiments.golden`` for what each pins.
@@ -19,6 +27,7 @@ engine modes; see ``repro.experiments.golden`` for what each pins.
 
 from __future__ import annotations
 
+import argparse
 import json
 import sys
 from pathlib import Path
@@ -31,10 +40,34 @@ GOLDEN_DIR = (
 )
 
 
+def _render(summary: dict) -> str:
+    """The exact file text a fixture summary is committed as."""
+    return json.dumps(summary, indent=2, sort_keys=True) + "\n"
+
+
 def main(argv: list[str] | None = None) -> int:
-    argv = sys.argv[1:] if argv is None else argv
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+    )
+    parser.add_argument(
+        "names",
+        nargs="*",
+        metavar="name",
+        help="fixture name(s) to regenerate/check (default: all)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help=(
+            "diff regenerated fixtures against the committed files "
+            "without writing anything; exit 1 on drift or a missing "
+            "file"
+        ),
+    )
+    args = parser.parse_args(argv)
+
     fixtures = golden_fixtures()
-    selected = argv or sorted(fixtures)
+    selected = args.names or sorted(fixtures)
     unknown = [name for name in selected if name not in fixtures]
     if unknown:
         print(
@@ -43,11 +76,43 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 2
+
+    if args.check:
+        drifted = []
+        for name in selected:
+            expected = _render(golden_summary(name))
+            target = GOLDEN_DIR / f"{name}.json"
+            try:
+                committed = target.read_text()
+            except OSError:
+                print(f"MISSING {target}")
+                drifted.append(name)
+                continue
+            if committed != expected:
+                print(
+                    f"DRIFT   {target} (regenerated output differs "
+                    f"from the committed fixture)"
+                )
+                drifted.append(name)
+            else:
+                print(f"ok      {target}")
+        if drifted:
+            print(
+                f"regen_golden: {len(drifted)} fixture(s) out of date: "
+                f"{drifted}; rerun 'PYTHONPATH=src python "
+                f"tools/regen_golden.py' and commit the result "
+                f"(if the behaviour change was intended)",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"regen_golden: {len(selected)} fixture(s) up to date")
+        return 0
+
     GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
     for name in selected:
         summary = golden_summary(name)
         target = GOLDEN_DIR / f"{name}.json"
-        target.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+        target.write_text(_render(summary))
         print(f"wrote {target} (payload sha256 {summary['payload_sha256'][:12]}…)")
     return 0
 
