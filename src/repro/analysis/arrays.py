@@ -1,0 +1,228 @@
+"""Structure-of-arrays task-set representation (:class:`TaskArrays`).
+
+Every analysis in this package — RTA, DBF, interference, blocking —
+is mathematically a function of four per-task vectors: WCETs, periods,
+deadlines and priorities.  The object model (:mod:`repro.model.task`)
+is the right interface for *building* systems, but walking Python
+dataclasses inside the admission-test inner loop is the single hottest
+path of every design-space sweep.  :class:`TaskArrays` is the batch
+counterpart: the same task set as contiguous NumPy arrays, built once
+and consumed by the vectorised analysis kernels
+(:func:`repro.analysis.rta.response_times_arrays`,
+:func:`repro.analysis.dbf.total_demand_arrays`,
+:func:`repro.analysis.blocking.rt_schedulable_with_blocking_arrays`,
+…).
+
+The conversion is **lossless**: ``TaskArrays.from_tasks(tasks)``
+followed by :meth:`TaskArrays.to_tasks` reproduces the original
+:class:`~repro.model.task.RealTimeTask` objects field for field
+(pinned by a hypothesis round-trip suite), so the scalar object path
+remains the golden reference the array programs are checked against.
+
+>>> from repro.model.task import RealTimeTask
+>>> ta = TaskArrays.from_tasks([
+...     RealTimeTask(name="b", wcet=2.0, period=20.0),
+...     RealTimeTask(name="a", wcet=1.0, period=10.0),
+... ])
+>>> ta.names, list(ta.wcets), list(ta.periods)
+(('b', 'a'), [2.0, 1.0], [20.0, 10.0])
+>>> ta.rm_sorted().names          # rate-monotonic priority order
+('a', 'b')
+>>> ta.to_tasks() == [RealTimeTask(name="b", wcet=2.0, period=20.0),
+...                   RealTimeTask(name="a", wcet=1.0, period=10.0)]
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.model.task import RealTimeTask
+
+__all__ = ["TaskArrays", "pad_task_grid"]
+
+
+@dataclass(frozen=True)
+class TaskArrays:
+    """One real-time task set as parallel, contiguous arrays.
+
+    The element order of every array is the *set* order (the order the
+    tasks were given in); use :meth:`rm_sorted` for the priority order
+    the fixed-priority analyses need.  Instances are immutable — the
+    arrays are flagged non-writeable on construction — so one instance
+    can safely back many concurrent queries.
+
+    Attributes
+    ----------
+    names:
+        Task names, set order (a tuple — names stay Python strings).
+    wcets:
+        Worst-case execution times ``C`` as ``float64``.
+    periods:
+        Minimum inter-arrival times ``T`` as ``float64``.
+    deadlines:
+        Relative deadlines ``D`` as ``float64`` (equal to ``periods``
+        for the paper's implicit-deadline model).
+    priorities:
+        Assigned fixed priorities as ``int64``; ``-1`` marks a task
+        whose priority is unassigned (``RealTimeTask.priority is
+        None``).
+    """
+
+    names: tuple[str, ...]
+    wcets: np.ndarray
+    periods: np.ndarray
+    deadlines: np.ndarray
+    priorities: np.ndarray
+
+    #: Sentinel in :attr:`priorities` for an unassigned priority.
+    NO_PRIORITY = -1
+
+    def __post_init__(self) -> None:
+        """Validate shapes/values and freeze the arrays."""
+        n = len(self.names)
+        for field_name in ("wcets", "periods", "deadlines", "priorities"):
+            array = getattr(self, field_name)
+            if array.shape != (n,):
+                raise ValidationError(
+                    f"TaskArrays.{field_name} must have shape ({n},), got "
+                    f"{array.shape}"
+                )
+            array.setflags(write=False)
+        if n and (
+            np.any(self.wcets <= 0)
+            or np.any(self.periods <= 0)
+            or np.any(self.deadlines <= 0)
+        ):
+            raise ValidationError(
+                "TaskArrays needs positive wcets, periods and deadlines"
+            )
+
+    @classmethod
+    def from_tasks(cls, tasks: Iterable[RealTimeTask]) -> "TaskArrays":
+        """Build the structure-of-arrays view of ``tasks`` (order kept).
+
+        The tasks themselves have already been validated by the
+        :class:`~repro.model.task.RealTimeTask` constructor; this is a
+        straight column-wise copy.
+        """
+        task_list = list(tasks)
+        return cls(
+            names=tuple(t.name for t in task_list),
+            wcets=np.array([t.wcet for t in task_list], dtype=np.float64),
+            periods=np.array([t.period for t in task_list], dtype=np.float64),
+            deadlines=np.array(
+                [t.deadline for t in task_list], dtype=np.float64
+            ),
+            priorities=np.array(
+                [
+                    cls.NO_PRIORITY if t.priority is None else t.priority
+                    for t in task_list
+                ],
+                dtype=np.int64,
+            ),
+        )
+
+    def to_tasks(self) -> list[RealTimeTask]:
+        """Reconstruct the :class:`RealTimeTask` objects (exact inverse
+        of :meth:`from_tasks` — same order, same field values)."""
+        return [
+            RealTimeTask(
+                name=name,
+                wcet=float(self.wcets[i]),
+                period=float(self.periods[i]),
+                deadline=float(self.deadlines[i]),
+                priority=(
+                    None
+                    if self.priorities[i] == self.NO_PRIORITY
+                    else int(self.priorities[i])
+                ),
+            )
+            for i, name in enumerate(self.names)
+        ]
+
+    def __len__(self) -> int:
+        """Number of tasks in the set."""
+        return len(self.names)
+
+    def __iter__(self) -> Iterator[RealTimeTask]:
+        """Iterate the tasks as model objects (reconstructing each)."""
+        return iter(self.to_tasks())
+
+    @property
+    def utilizations(self) -> np.ndarray:
+        """Per-task utilisations ``C / T`` (a fresh array)."""
+        return self.wcets / self.periods
+
+    @property
+    def total_utilization(self) -> float:
+        """Total utilisation ``Σ C_i / T_i`` of the set."""
+        return float(np.sum(self.wcets / self.periods))
+
+    def rm_order(self) -> np.ndarray:
+        """Indices that sort the set into rate-monotonic priority order.
+
+        The key matches
+        :func:`repro.model.priority.rate_monotonic_order` exactly —
+        ``(period, -wcet, name)`` — so the array path and the object
+        path agree on the (total, deterministic) priority order.
+        """
+        return np.lexsort(
+            (np.asarray(self.names), -self.wcets, self.periods)
+        )
+
+    def rm_sorted(self) -> "TaskArrays":
+        """This set re-ordered into rate-monotonic priority order."""
+        order = self.rm_order()
+        return TaskArrays(
+            names=tuple(self.names[i] for i in order),
+            wcets=self.wcets[order],
+            periods=self.periods[order],
+            deadlines=self.deadlines[order],
+            priorities=self.priorities[order],
+        )
+
+    def take(self, indices: Sequence[int] | np.ndarray) -> "TaskArrays":
+        """Subset/reorder by ``indices`` (numpy fancy-indexing rules)."""
+        idx = np.asarray(indices, dtype=np.intp)
+        return TaskArrays(
+            names=tuple(self.names[i] for i in idx),
+            wcets=self.wcets[idx],
+            periods=self.periods[idx],
+            deadlines=self.deadlines[idx],
+            priorities=self.priorities[idx],
+        )
+
+
+def pad_task_grid(
+    sets: Sequence[TaskArrays],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Pad many task sets into one rectangular analysis grid.
+
+    Returns ``(wcets, periods, deadlines, valid)``, each of shape
+    ``(S, N)`` where ``S = len(sets)`` and ``N`` is the largest set
+    size; ``valid`` is the boolean occupancy mask.  Padding slots carry
+    neutral values (``wcet = 0``, ``period = deadline = inf``) so the
+    grid kernels can run unmasked arithmetic — a padded column
+    contributes exactly ``0.0`` interference and never misses a
+    deadline.  Element order within each row is the order of the input
+    :class:`TaskArrays` (callers wanting priority order pass
+    :meth:`TaskArrays.rm_sorted` sets).
+    """
+    count = len(sets)
+    width = max((len(s) for s in sets), default=0)
+    wcets = np.zeros((count, width))
+    periods = np.full((count, width), np.inf)
+    deadlines = np.full((count, width), np.inf)
+    valid = np.zeros((count, width), dtype=bool)
+    for row, task_arrays in enumerate(sets):
+        n = len(task_arrays)
+        wcets[row, :n] = task_arrays.wcets
+        periods[row, :n] = task_arrays.periods
+        deadlines[row, :n] = task_arrays.deadlines
+        valid[row, :n] = True
+    return wcets, periods, deadlines, valid

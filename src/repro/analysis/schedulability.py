@@ -181,6 +181,7 @@ def breakdown_utilization(
         return math.inf
 
     def scaled_ok(scale: float) -> bool:
+        """Whether the set stays schedulable with WCETs scaled."""
         scaled = [
             RealTimeTask(
                 name=t.name,

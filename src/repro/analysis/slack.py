@@ -37,6 +37,7 @@ class CoreSlack:
 
     @property
     def total_utilization(self) -> float:
+        """Combined real-time + security utilisation on the core."""
         return self.rt_utilization + self.security_utilization
 
     @property

@@ -57,6 +57,7 @@ class SecurityAssignment:
 
     @property
     def period_max(self) -> float:
+        """The task's loosest acceptable period (delegated)."""
         return self.task.period_max
 
     @property
@@ -99,6 +100,7 @@ class Allocation:
     # -- lookup helpers ------------------------------------------------
 
     def assignment_for(self, task: SecurityTask | str) -> SecurityAssignment:
+        """The assignment of ``task`` (or name); ``KeyError`` if absent."""
         name = task if isinstance(task, str) else task.name
         for assignment in self.assignments:
             if assignment.task.name == name:
@@ -175,18 +177,22 @@ class AllocationResult:
 
     @property
     def scheme(self) -> str:
+        """Name of the strategy that produced the allocation."""
         return self.allocation.scheme
 
     @property
     def schedulable(self) -> bool:
+        """Whether every security task was placed feasibly."""
         return self.allocation.schedulable
 
     @property
     def failed_task(self) -> str | None:
+        """Name of the first unplaceable task, or ``None``."""
         return self.allocation.failed_task
 
     @property
     def assignments(self) -> tuple[SecurityAssignment, ...]:
+        """Per-task placements, in security-priority order."""
         return self.allocation.assignments
 
     def security_partition(self) -> dict[str, int]:
@@ -202,11 +208,13 @@ class AllocationResult:
         return {a.task.name: a.tightness for a in self.allocation.assignments}
 
     def mean_tightness(self) -> float:
+        """Mean achieved tightness ``η`` over the assignments."""
         return self.allocation.mean_tightness()
 
     def cumulative_tightness(
         self, weights: Mapping[str, float] | None = None
     ) -> float:
+        """Weighted tightness sum (paper Eq. 2; uniform by default)."""
         return self.allocation.cumulative_tightness(weights)
 
     def summary(self) -> str:

@@ -24,7 +24,12 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
-from repro.analysis.schedulability import AdmissionTest, get_admission_test
+from repro.analysis.admission import ExactAdmissionCore
+from repro.analysis.schedulability import (
+    AdmissionTest,
+    get_admission_test,
+    rta_test,
+)
 from repro.errors import ConfigError, PartitioningError
 from repro.model.platform import Platform
 from repro.model.system import Partition
@@ -103,7 +108,21 @@ def try_partition_tasks(
     assignment: dict[str, int] = {}
     next_fit_pointer = 0
 
+    # The default exact-RTA admission keeps incremental per-core state
+    # (higher-priority response times cannot change when a task is
+    # added below them), which answers each probe at a fraction of the
+    # from-scratch cost with a bit-identical verdict.  Any other test —
+    # a different name or a caller-supplied callable — takes the
+    # generic rebuild-and-test path.
+    states: dict[int, ExactAdmissionCore] | None = (
+        {m: ExactAdmissionCore() for m in platform}
+        if test is rta_test
+        else None
+    )
+
     def admits(core: int, task: RealTimeTask) -> bool:
+        if states is not None:
+            return states[core].admits(task)
         return test([*per_core[core], task])
 
     for task in ordered:
@@ -130,6 +149,8 @@ def try_partition_tasks(
                 return None
         per_core[chosen].append(task)
         core_util[chosen] += task.utilization
+        if states is not None:
+            states[chosen].add(task)
         assignment[task.name] = chosen
 
     return Partition(platform, TaskSet(task_list), assignment)

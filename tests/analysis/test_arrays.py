@@ -1,0 +1,343 @@
+"""Property suites for the structure-of-arrays analysis core.
+
+Three contracts pin the array layer to the scalar golden reference:
+
+* **Losslessness** — ``TaskArrays.from_tasks`` → ``to_tasks`` is the
+  identity, field for field, so nothing is lost entering the array
+  world;
+* **Agreement** — every ``*_arrays`` analysis (DBF, interference,
+  blocking, grid RTA) reaches the same values/decisions as its scalar
+  twin on hypothesis-generated task sets, not just the golden points;
+* **Admission equivalence** — :class:`ExactAdmissionCore` answers every
+  probe exactly as ``rta_test`` on the rebuilt task list would,
+  including on pre-seeded (even unschedulable) cores, and
+  ``_fixed_point`` is bit-identical to :func:`response_time`.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.admission import ExactAdmissionCore, _fixed_point
+from repro.analysis.arrays import TaskArrays, pad_task_grid
+from repro.analysis.blocking import (
+    max_tolerable_blocking,
+    max_tolerable_blocking_arrays,
+    rt_schedulable_with_blocking,
+    rt_schedulable_with_blocking_arrays,
+)
+from repro.analysis.dbf import (
+    dbf_check_points,
+    dbf_step_points_arrays,
+    demand_bound,
+    demand_bound_arrays,
+    necessary_condition,
+    necessary_condition_arrays,
+    total_demand,
+    total_demand_arrays,
+)
+from repro.analysis.interference import (
+    InterferenceEnv,
+    linear_interference,
+    linear_interference_arrays,
+    min_feasible_period,
+    min_feasible_periods_arrays,
+)
+from repro.analysis.rta import (
+    response_time,
+    response_times_grid,
+    rta_schedulable,
+    rta_schedulable_sets,
+)
+from repro.analysis.schedulability import rta_test
+from repro.model.priority import rate_monotonic_order
+from repro.model.task import RealTimeTask, SecurityTask
+
+
+@st.composite
+def task_sets(draw, min_size=1, max_size=12, constrained_deadlines=True):
+    """Task sets with unique names and bounded parameters.
+
+    Unique names matter: the scalar reference keys results by task
+    name, so duplicate names would make the reference itself
+    ill-defined.
+    """
+    n = draw(st.integers(min_value=min_size, max_value=max_size))
+    tasks = []
+    for i in range(n):
+        period = draw(st.floats(min_value=5.0, max_value=1000.0))
+        wcet = period * draw(st.floats(min_value=0.005, max_value=0.6))
+        deadline = period
+        if constrained_deadlines and draw(st.booleans()):
+            # min() guards the f≈1.0 draws, where round-off could push
+            # the deadline one ulp past the period.
+            deadline = min(
+                period,
+                wcet
+                + (period - wcet)
+                * draw(st.floats(min_value=0.1, max_value=1.0)),
+            )
+        tasks.append(
+            RealTimeTask(
+                name=f"t{i:03d}", wcet=wcet, period=period, deadline=deadline
+            )
+        )
+    return tasks
+
+
+# ---------------------------------------------------------------- arrays
+
+
+@settings(max_examples=100, deadline=None)
+@given(tasks=task_sets())
+def test_round_trip_is_lossless(tasks):
+    assert TaskArrays.from_tasks(tasks).to_tasks() == tasks
+
+
+@settings(max_examples=100, deadline=None)
+@given(tasks=task_sets())
+def test_rm_sorted_matches_object_order(tasks):
+    ordered = TaskArrays.from_tasks(tasks).rm_sorted()
+    reference = rate_monotonic_order(tasks)
+    assert ordered.to_tasks() == reference
+
+
+def test_round_trip_preserves_priorities():
+    tasks = [
+        RealTimeTask(name="a", wcet=1.0, period=10.0, priority=3),
+        RealTimeTask(name="b", wcet=2.0, period=20.0),
+    ]
+    back = TaskArrays.from_tasks(tasks).to_tasks()
+    assert back == tasks
+    assert back[0].priority == 3 and back[1].priority is None
+
+
+@settings(max_examples=50, deadline=None)
+@given(sets=st.lists(task_sets(max_size=8), min_size=1, max_size=6))
+def test_pad_task_grid_shapes_and_neutral_padding(sets):
+    arrays = [TaskArrays.from_tasks(s) for s in sets]
+    wcets, periods, deadlines, valid = pad_task_grid(arrays)
+    width = max(len(s) for s in sets)
+    assert wcets.shape == (len(sets), width)
+    for row, s in enumerate(sets):
+        assert valid[row, : len(s)].all() and not valid[row, len(s):].any()
+        assert (wcets[row, len(s):] == 0.0).all()
+        assert np.isinf(periods[row, len(s):]).all()
+
+
+# ------------------------------------------------------------------- dbf
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    tasks=task_sets(),
+    horizons=st.lists(
+        st.floats(min_value=0.0, max_value=5000.0), min_size=1, max_size=5
+    ),
+)
+def test_dbf_arrays_agree_with_scalar(tasks, horizons):
+    arrays = TaskArrays.from_tasks(tasks)
+    for t in horizons:
+        per_task = demand_bound_arrays(arrays, t)
+        assert per_task.shape == (len(tasks),)
+        for i, task in enumerate(tasks):
+            # floor over identical float inputs — exact agreement.
+            assert per_task[i] == demand_bound(task, t)
+        assert math.isclose(
+            float(total_demand_arrays(arrays, t)),
+            total_demand(tasks, t),
+            rel_tol=1e-12,
+            abs_tol=1e-9,
+        )
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    tasks=task_sets(),
+    horizon=st.floats(min_value=0.0, max_value=5000.0),
+)
+def test_dbf_step_points_agree_with_scalar(tasks, horizon):
+    array_points = dbf_step_points_arrays(
+        TaskArrays.from_tasks(tasks), horizon
+    )
+    scalar_points = sorted(set(dbf_check_points(tasks, horizon)))
+    assert np.allclose(array_points, scalar_points, rtol=0, atol=1e-9)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    tasks=task_sets(),
+    cores=st.integers(min_value=1, max_value=8),
+)
+def test_necessary_condition_arrays_agrees(tasks, cores):
+    assert necessary_condition_arrays(
+        TaskArrays.from_tasks(tasks), cores
+    ) == necessary_condition(tasks, cores)
+
+
+# ---------------------------------------------------------- interference
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    tasks=task_sets(constrained_deadlines=False),
+    periods=st.lists(
+        st.floats(min_value=1.0, max_value=10_000.0),
+        min_size=1,
+        max_size=6,
+    ),
+)
+def test_linear_interference_arrays_agrees(tasks, periods):
+    arrays = TaskArrays.from_tasks(tasks)
+    bounds = linear_interference_arrays(periods, arrays)
+    for i, period in enumerate(periods):
+        assert math.isclose(
+            float(bounds[i]),
+            linear_interference(period, tasks),
+            rel_tol=1e-12,
+            abs_tol=1e-9,
+        )
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    tasks=task_sets(constrained_deadlines=False),
+    wcets=st.lists(
+        st.floats(min_value=0.1, max_value=100.0), min_size=1, max_size=6
+    ),
+)
+def test_min_feasible_periods_arrays_agrees(tasks, wcets):
+    env = InterferenceEnv.from_arrays(TaskArrays.from_tasks(tasks))
+    batched = min_feasible_periods_arrays(wcets, env)
+    for i, wcet in enumerate(wcets):
+        task = SecurityTask(
+            name="probe", wcet=wcet, period_des=1e6, period_max=1e7
+        )
+        scalar = min_feasible_period(task, env)
+        if math.isinf(scalar):
+            assert math.isinf(batched[i])
+        else:
+            assert math.isclose(
+                float(batched[i]), scalar, rel_tol=1e-12, abs_tol=1e-9
+            )
+
+
+@settings(max_examples=50, deadline=None)
+@given(tasks=task_sets(constrained_deadlines=False))
+def test_env_from_arrays_matches_on_core(tasks):
+    by_arrays = InterferenceEnv.from_arrays(TaskArrays.from_tasks(tasks))
+    by_objects = InterferenceEnv.on_core(tasks)
+    assert math.isclose(
+        by_arrays.total_wcet, by_objects.total_wcet, rel_tol=1e-12
+    )
+    assert math.isclose(
+        by_arrays.utilization, by_objects.utilization, rel_tol=1e-12
+    )
+
+
+# -------------------------------------------------------------- blocking
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    tasks=task_sets(max_size=8),
+    blocking=st.floats(min_value=0.0, max_value=50.0),
+)
+def test_blocking_schedulability_arrays_agrees(tasks, blocking):
+    assert rt_schedulable_with_blocking_arrays(
+        TaskArrays.from_tasks(tasks), blocking
+    ) == rt_schedulable_with_blocking(tasks, blocking)
+
+
+@settings(max_examples=30, deadline=None)
+@given(tasks=task_sets(max_size=6))
+def test_max_tolerable_blocking_arrays_agrees(tasks):
+    scalar = max_tolerable_blocking(tasks)
+    batched = max_tolerable_blocking_arrays(TaskArrays.from_tasks(tasks))
+    if math.isinf(scalar):
+        assert math.isinf(batched)
+    else:
+        # Both bisect the same monotone predicate over the same bracket
+        # to tolerance 1e-6; allow both tolerances plus round-off.
+        assert abs(batched - scalar) <= 2.5e-6
+
+
+# -------------------------------------------------------------- grid RTA
+
+
+@settings(max_examples=50, deadline=None)
+@given(sets=st.lists(task_sets(max_size=10), min_size=1, max_size=8))
+def test_grid_rta_decisions_match_scalar(sets):
+    grid = pad_task_grid(
+        [TaskArrays.from_tasks(s).rm_sorted() for s in sets]
+    )
+    wcets, periods, deadlines, valid = grid
+    responses = response_times_grid(wcets, periods, deadlines, valid)
+    verdicts = np.where(valid, responses <= deadlines + 1e-9, True).all(
+        axis=1
+    )
+    for row, tasks in enumerate(sets):
+        assert bool(verdicts[row]) == rta_schedulable(tasks)
+
+
+@settings(max_examples=30, deadline=None)
+@given(sets=st.lists(task_sets(max_size=10), min_size=1, max_size=6))
+def test_rta_schedulable_sets_matches_scalar(sets):
+    batched = rta_schedulable_sets(sets)
+    assert [bool(v) for v in batched] == [rta_schedulable(s) for s in sets]
+
+
+# ------------------------------------------------------------- admission
+
+
+@settings(max_examples=150, deadline=None)
+@given(tasks=task_sets(max_size=8))
+def test_fixed_point_bit_identical_to_response_time(tasks):
+    """``_fixed_point`` is the admission loop's lean twin of
+    :func:`response_time` — same accumulation order, bit for bit."""
+    ordered = rate_monotonic_order(tasks)
+    pairs = [(t.wcet, t.period) for t in ordered[:-1]]
+    probe = ordered[-1]
+    reference = response_time(probe.wcet, pairs, limit=probe.deadline)
+    twin = _fixed_point(probe.wcet, pairs, probe.deadline)
+    assert twin == reference or (
+        math.isinf(twin) and math.isinf(reference)
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(stream=task_sets(max_size=14, constrained_deadlines=True))
+def test_admission_core_matches_rta_test_incrementally(stream):
+    """Every probe verdict equals ``rta_test`` on the rebuilt list, and
+    accepted tasks keep the state consistent for the next probe."""
+    state = ExactAdmissionCore()
+    placed = []
+    for task in stream:
+        assert state.admits(task) == rta_test([*placed, task])
+        if rta_test([*placed, task]):
+            state.add(task)
+            placed.append(task)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    residents=task_sets(max_size=10),
+    probes=task_sets(min_size=1, max_size=3),
+)
+def test_admission_core_matches_rta_test_preseeded(residents, probes):
+    """Pre-seeded cores — schedulable or not — answer probes exactly
+    like the from-scratch reference test."""
+    state = ExactAdmissionCore(residents)
+    for i, probe in enumerate(probes):
+        # Unique names: the reference keys results by name.
+        unique = RealTimeTask(
+            name=f"probe{i:02d}",
+            wcet=probe.wcet,
+            period=probe.period,
+            deadline=probe.deadline,
+        )
+        assert state.admits(unique) == rta_test([*residents, unique])

@@ -22,7 +22,11 @@ pinned benchmarks cover the sweep engine's hot paths:
   draw per sweep) behind ``generate_workload_batch``,
 * ``test_ablate_runset`` / ``test_ablate_cached_rescore`` — the
   ablation harness's run-set expansion (config → swap-one variants →
-  content-addressed ids) and the warm-cache re-scoring loop.
+  content-addressed ids) and the warm-cache re-scoring loop,
+* ``test_rta_grid_sweep`` / ``test_partition_sweep_fast`` — the
+  structure-of-arrays grid RTA kernel and the incremental-admission
+  partition sweep; these two are additionally held to *speedup floors*
+  against their in-run scalar references (:data:`RATIO_GATES`).
 
 Raw means are meaningless across machines (the committed baseline was
 recorded on one box, CI runs on another), so every pinned mean is
@@ -38,6 +42,7 @@ Regenerate the baseline after an *intended* perf change::
         benchmarks/test_bench_store.py benchmarks/test_bench_allocators.py \
         benchmarks/test_bench_workloads.py \
         benchmarks/test_bench_ablate.py \
+        benchmarks/test_bench_analysis.py \
         --benchmark-json=/tmp/bench.json -q
     python tools/check_bench.py --slim /tmp/bench.json \
         benchmarks/baselines/baseline.json
@@ -56,6 +61,8 @@ from pathlib import Path
 #: Benchmark (function) names whose normalised means are gated.
 PINNED = (
     "test_rta_batch",
+    "test_rta_grid_sweep",
+    "test_partition_sweep_fast",
     "test_persistent_pool_fanout",
     "test_store_warm_read",
     "test_store_put_many",
@@ -68,16 +75,27 @@ PINNED = (
 #: The normaliser: CPU-bound, stable, present in every gated run.
 CALIBRATION = "test_randfixedsum"
 
+#: Speedup floors checked on the *current* run alone: the slow
+#: reference and the fast path come from the same process, so the
+#: ratio of their medians is machine-independent.  Each entry is
+#: ``(slow benchmark, fast benchmark, minimum slow/fast ratio)``.
+RATIO_GATES = (
+    # Grid RTA over a sweep's worth of cores vs the per-set scalar loop.
+    ("test_rta_scalar_sweep", "test_rta_grid_sweep", 10.0),
+    # Fig2-style partition sweep: incremental admission vs rebuild-and-test.
+    ("test_partition_sweep_generic", "test_partition_sweep_fast", 2.0),
+)
 
-def load_means(path: Path) -> dict[str, float]:
+
+def load_stats(path: Path, stat: str = "mean") -> dict[str, float]:
     try:
         document = json.loads(path.read_text())
     except (OSError, json.JSONDecodeError) as exc:
         sys.exit(f"check_bench: cannot read {path}: {exc}")
-    means: dict[str, float] = {}
+    stats: dict[str, float] = {}
     for bench in document.get("benchmarks", []):
-        means[bench["name"]] = float(bench["stats"]["mean"])
-    return means
+        stats[bench["name"]] = float(bench["stats"][stat])
+    return stats
 
 
 def slim(source: Path, destination: Path) -> int:
@@ -134,15 +152,23 @@ def main(argv: list[str] | None = None) -> int:
     if args.slim:
         return slim(args.baseline, args.current)
 
-    baseline = load_means(args.baseline)
-    current = load_means(args.current)
+    baseline = load_stats(args.baseline)
+    current = load_stats(args.current)
+    # Ratio gates compare two benchmarks from the same run by their
+    # per-round *medians*: with the deliberately long rounds of the
+    # gated pairs (see benchmarks/test_bench_analysis.py), sustained
+    # machine load slows both sides proportionally and cancels in the
+    # median ratio, while the per-round minimum hinges on a single
+    # lucky round per side and the mean chases outliers.
+    current_ratio_stat = load_stats(args.current, stat="median")
 
+    ratio_names = [name for pair in RATIO_GATES for name in pair[:2]]
     missing = [
         name
         for name in (*PINNED, CALIBRATION)
         for means, origin in ((baseline, "baseline"), (current, "current"))
         if name not in means
-    ]
+    ] + [name for name in ratio_names if name not in current]
     if missing:
         sys.exit(
             f"check_bench: benchmark(s) missing from baseline/current "
@@ -169,6 +195,16 @@ def main(argv: list[str] | None = None) -> int:
         if regressed:
             failures.append((name, ratio))
 
+    for slow, fast, floor in RATIO_GATES:
+        ratio = current_ratio_stat[slow] / current_ratio_stat[fast]
+        ok = ratio >= floor
+        print(
+            f"{fast:<32} speedup vs {slow}: {ratio:.1f}x "
+            f"(floor {floor:g}x)  {'ok' if ok else 'TOO SLOW'}"
+        )
+        if not ok:
+            failures.append((f"{fast} speedup", ratio))
+
     print(
         f"calibration ({CALIBRATION}): baseline "
         f"{baseline[CALIBRATION] * 1e3:.3f}ms vs current "
@@ -177,8 +213,8 @@ def main(argv: list[str] | None = None) -> int:
     if failures:
         summary = ", ".join(f"{n} ×{r:.2f}" for n, r in failures)
         print(
-            f"check_bench: FAIL — pinned hot path(s) regressed beyond "
-            f"{args.tolerance:.0%}: {summary}",
+            f"check_bench: FAIL — pinned hot path regressed beyond "
+            f"{args.tolerance:.0%} or speedup floor missed: {summary}",
             file=sys.stderr,
         )
         return 1

@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Check that intra-repo markdown links resolve (stdlib only, offline).
+
+Usage::
+
+    python tools/check_links.py [FILE.md ...]
+
+With no arguments, checks ``README.md``, ``ROADMAP.md`` and every page
+under ``docs/``.  For each inline markdown link ``[text](target)``:
+
+* ``http(s)://`` / ``mailto:`` targets are skipped — CI has no network
+  and external availability is not this repo's contract;
+* ``#anchor`` targets must match a heading in the same file (GitHub
+  slug rules: lowercase, punctuation stripped, spaces to hyphens);
+* relative path targets must exist on disk, resolved against the
+  linking file's directory; a trailing ``#anchor`` must then match a
+  heading in the *target* file.
+
+Exits 1 listing every broken link, 0 when all resolve.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Inline links, skipping images; markdown code spans are stripped
+#: before matching so `[i](x)` inside backticks is not a link.
+_LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+_CODE_SPAN = re.compile(r"`[^`]*`")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def github_slug(heading: str) -> str:
+    """The anchor id GitHub generates for a heading."""
+    text = re.sub(r"[*_`]", "", heading.strip()).lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path: Path) -> set[str]:
+    return {
+        github_slug(m.group(1))
+        for m in _HEADING.finditer(path.read_text(encoding="utf-8"))
+    }
+
+
+def check_file(path: Path) -> list[str]:
+    problems: list[str] = []
+    text = _CODE_SPAN.sub("", path.read_text(encoding="utf-8"))
+    for match in _LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        line = text.count("\n", 0, match.start()) + 1
+        file_part, _, anchor = target.partition("#")
+        resolved = (
+            path if not file_part else (path.parent / file_part).resolve()
+        )
+        if not resolved.exists():
+            problems.append(f"{path}:{line}: broken link target {target!r}")
+            continue
+        if anchor and resolved.suffix == ".md":
+            if anchor not in heading_slugs(resolved):
+                problems.append(
+                    f"{path}:{line}: no heading for anchor {target!r}"
+                )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    arguments = sys.argv[1:] if argv is None else argv
+    if arguments:
+        files = [Path(argument) for argument in arguments]
+    else:
+        files = [REPO_ROOT / "README.md", REPO_ROOT / "ROADMAP.md"]
+        files += sorted((REPO_ROOT / "docs").glob("*.md"))
+    problems: list[str] = []
+    for file in files:
+        if not file.exists():
+            problems.append(f"{file}: file not found")
+            continue
+        problems += check_file(file)
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    checked = sum(1 for f in files if f.exists())
+    if problems:
+        print(f"check_links: FAIL — {len(problems)} broken link(s)")
+        return 1
+    print(f"check_links: OK — {checked} file(s) checked")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
