@@ -9,6 +9,8 @@ plugin) gets its own subcommand, plus three meta commands::
     repro-hydra allocators optimal           # describe one strategy
     repro-hydra workloads                    # which workload families?
     repro-hydra workloads uunifast           # describe one family
+    repro-hydra executors                    # which execution backends?
+    repro-hydra executors subprocess-workers # describe one backend
     repro-hydra table1
     repro-hydra fig2 --scale default --workers 4
     repro-hydra fig3 --scale paper --workers 8 --cache-dir results/cache
@@ -21,7 +23,10 @@ plugin) gets its own subcommand, plus three meta commands::
 Sweeps run through the :class:`repro.experiments.parallel.SweepEngine`:
 ``--workers N`` fans utilisation points over N processes (results are
 identical to a serial run — every point has its own SeedSequence
-stream), ``--cache-dir DIR`` caches per-point results on disk so
+stream), ``--executor NAME`` picks the execution backend
+(:mod:`repro.executors`; ``subprocess-workers`` runs fault-tolerant
+long-lived worker subprocesses, and every backend is byte-identical
+to serial), ``--cache-dir DIR`` caches per-point results on disk so
 re-runs and extended sweeps only compute missing points, and
 ``--resume`` is shorthand for caching in ``.repro-cache``.  One
 invocation forks at most one worker pool: every selected experiment's
@@ -94,8 +99,8 @@ DEFAULT_CACHE_DIR = ".repro-cache"
 
 #: Meta commands that are not registry experiments.
 _META_COMMANDS = (
-    "list", "allocators", "workloads", "all", "ablations", "sweep",
-    "ablate", "cache", "serve",
+    "list", "allocators", "workloads", "executors", "all", "ablations",
+    "sweep", "ablate", "cache", "serve",
 )
 
 _FORMATS = ("text", "json", "csv")
@@ -140,6 +145,17 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
             "fan sweep points out over N worker processes, N >= 1 "
             "(default: serial; results are identical for any worker "
             "count)"
+        ),
+    )
+    parser.add_argument(
+        "--executor",
+        metavar="NAME",
+        default=None,
+        help=(
+            "execution backend for sweep points — 'serial', 'pool', "
+            "'subprocess-workers', or any plugin (see 'repro-hydra "
+            "executors'); results are byte-identical for every backend "
+            "(default: serial, or the shared pool with --workers)"
         ),
     )
     parser.add_argument(
@@ -270,6 +286,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="describe this workload family instead of listing all",
     )
     workloads.add_argument(
+        "--format",
+        dest="output_format",
+        default="text",
+        choices=("text", "json"),
+        help="'text' for a table, 'json' for machine-readable specs",
+    )
+
+    executors = subparsers.add_parser(
+        "executors",
+        help="list or describe the registered execution backends",
+        description=(
+            "Without NAME: one line per registered execution backend "
+            "(what --executor and job submissions accept). With NAME: "
+            "the full description of one backend.  Backends are "
+            "payload-identical by contract: picking one never changes "
+            "a result byte."
+        ),
+    )
+    executors.add_argument(
+        "name",
+        nargs="?",
+        default=None,
+        metavar="NAME",
+        help="describe this execution backend instead of listing all",
+    )
+    executors.add_argument(
         "--format",
         dest="output_format",
         default="text",
@@ -428,6 +470,16 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="worker processes per job, N >= 1 (default: serial)",
     )
+    serve.add_argument(
+        "--executor",
+        metavar="NAME",
+        default=None,
+        help=(
+            "default execution backend for served jobs (see "
+            "'repro-hydra executors'); submissions may still name "
+            "their own via an 'executor' key"
+        ),
+    )
 
     return parser
 
@@ -455,7 +507,14 @@ def _build_runner(args):
     cache_dir = args.cache_dir
     if cache_dir is None and args.resume:
         cache_dir = DEFAULT_CACHE_DIR
-    return JobRunner(cache_dir=cache_dir, workers=args.workers)
+    executor = getattr(args, "executor", None)
+    if executor is not None:
+        from repro.executors import get_executor_info
+
+        get_executor_info(executor)  # typed error before anything runs
+    return JobRunner(
+        cache_dir=cache_dir, workers=args.workers, executor=executor
+    )
 
 
 def _selected_experiments(args) -> list["Experiment"]:
@@ -528,7 +587,8 @@ def _run_list(args) -> int:
         )
     )
     print(
-        "\nmeta commands: allocators, workloads, ablations, all, "
+        "\nmeta commands: allocators, workloads, executors, "
+        "ablations, all, "
         "sweep --config FILE (TOML scenario grid), "
         "ablate --config FILE (ablation study)"
     )
@@ -610,6 +670,22 @@ def _run_workloads(args) -> int:
     )
 
 
+def _run_executors(args) -> int:
+    from repro.executors import get_executor_info, iter_executor_info
+
+    return _run_registry_listing(
+        args,
+        get_executor_info,
+        iter_executor_info,
+        command="executors",
+        flag="--executor",
+        list_title=(
+            "Registered execution backends (run sweeps with "
+            "--executor NAME; results are identical for every backend)"
+        ),
+    )
+
+
 def _run_cache(args) -> int:
     from repro.experiments.store import ResultStore
 
@@ -629,6 +705,17 @@ def _run_cache(args) -> int:
             print(
                 f"  {kind:<24} {shard['entries']:>8} entries "
                 f"{shard['data_bytes']:>12} bytes"
+            )
+            for writer, seg in sorted(shard.get("segments", {}).items()):
+                print(
+                    f"    writer {writer:<17} {seg['entries']:>8} entries "
+                    f"{seg['data_bytes']:>12} bytes"
+                )
+        if stats["segment_files"]:
+            print(
+                f"  {stats['segment_files']} writer segment file(s), "
+                f"{stats['segment_bytes']} bytes — run 'repro-hydra "
+                f"cache gc' to merge them into the primary log"
             )
         if stats["pending_v1_entries"]:
             print(
@@ -655,6 +742,13 @@ def _run_cache(args) -> int:
         )
         return 0
     summary = ResultStore(directory).gc()
+    if summary["merged_segments"]:
+        print(
+            f"gc {directory}: merged {summary['merged_segments']} "
+            f"writer segment(s) ({summary['merged_entries']} "
+            f"entr{'y' if summary['merged_entries'] == 1 else 'ies'}) "
+            f"into the primary log"
+        )
     print(
         f"gc {directory}: {summary['entries']} live entries across "
         f"{len(summary['shards'])} shard(s), "
@@ -664,10 +758,24 @@ def _run_cache(args) -> int:
 
 
 def _run_serve(args) -> int:
+    import os
+
     from repro.jobs import JobRunner
     from repro.server import JobServiceApp, run_server
 
-    runner = JobRunner(cache_dir=args.cache_dir, workers=args.workers)
+    if args.executor is not None:
+        from repro.executors import get_executor_info
+
+        get_executor_info(args.executor)  # typed error before binding
+    # The service routinely shares its cache with CLI runs, so it
+    # appends to a pid-suffixed writer segment instead of the primary
+    # log — two live writers can never interleave ('cache gc' merges).
+    runner = JobRunner(
+        cache_dir=args.cache_dir,
+        workers=args.workers,
+        executor=args.executor,
+        store_writer=f"serve{os.getpid()}",
+    )
     app = JobServiceApp(runner)
     print(
         f"repro-hydra serve: listening on {args.host}:{args.port} "
@@ -740,6 +848,11 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _run_workloads(args)
         except ConfigError as exc:
             _typed_error(exc)
+    if args.experiment == "executors":
+        try:
+            return _run_executors(args)
+        except ConfigError as exc:
+            _typed_error(exc)
     if args.experiment == "cache":
         try:
             return _run_cache(args)
@@ -748,9 +861,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.experiment == "serve":
         try:
             return _run_serve(args)
-        except (CacheError, OSError) as exc:
+        except (CacheError, ConfigError, OSError) as exc:
             # OSError covers bind failures (port already in use,
-            # privileged port): one typed line, never a traceback.
+            # privileged port), ConfigError an unknown --executor:
+            # one typed line, never a traceback.
             _typed_error(exc)
 
     scale = get_scale(args.scale)
@@ -758,8 +872,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         scale = scale.with_overrides(seed=args.seed)
     try:
         runner = _build_runner(args)
-    except CacheError as exc:
-        # An unusable --cache-dir fails fast, before any point computes.
+    except (CacheError, ConfigError) as exc:
+        # An unusable --cache-dir or unknown --executor fails fast,
+        # before any point computes.
         _typed_error(exc)
 
     try:

@@ -59,6 +59,33 @@ class SweepCancelled(ReproError):
     """
 
 
+class ExecutorError(ReproError):
+    """An execution backend could not complete a sweep point.
+
+    Raised by :mod:`repro.executors` backends when a point exhausts
+    its bounded retries (worker deaths, task timeouts) or a worker
+    reports that the point runner itself raised.  Deterministic
+    points make retries safe, so reaching this error means the
+    failure is persistent, not transient.
+    """
+
+
+class ExecutorTaskError(ExecutorError):
+    """A sweep point's runner raised inside a worker.
+
+    Carries the worker-reported exception type and message — the
+    failure is the *task's*, not the transport's, so executors
+    surface it immediately instead of burning retries on a
+    deterministic error.
+    """
+
+    def __init__(self, message: str, error_type: str = "") -> None:
+        super().__init__(message)
+        #: Exception class name reported by the worker (e.g.
+        #: ``"ValidationError"``).
+        self.error_type = error_type
+
+
 class UnknownJobError(ReproError, KeyError):
     """A job id matched nothing the :class:`~repro.jobs.JobRunner`
     knows about.

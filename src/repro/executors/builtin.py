@@ -1,0 +1,114 @@
+"""The in-process execution backends: ``serial`` and ``pool``.
+
+``serial`` computes points on the calling thread — the golden
+reference every other backend is pinned against.  ``pool`` wraps the
+existing process-wide :class:`~repro.experiments.pool.WorkerPool`
+(or an injected one), so choosing it is exactly the engine's historic
+``workers=N`` behaviour, now addressable by name.
+"""
+
+from __future__ import annotations
+
+import os
+from itertools import repeat
+from typing import TYPE_CHECKING, Any, Sequence
+
+from repro.executors.api import Executor
+from repro.executors.registry import register_executor
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.parallel import SweepSpec
+    from repro.experiments.pool import WorkerPool
+
+__all__ = ["SerialExecutor", "PoolExecutor"]
+
+
+class SerialExecutor(Executor):
+    """Compute every point in-process, in order (the reference)."""
+
+    name = "serial"
+    workers = 1
+
+    def run_points(
+        self, spec: "SweepSpec", indices: Sequence[int]
+    ) -> list[tuple[int, dict[str, Any]]]:
+        from repro.experiments.parallel import execute_point
+
+        return [(index, execute_point(spec, index)) for index in indices]
+
+
+class PoolExecutor(Executor):
+    """Fan points over a persistent :class:`WorkerPool`.
+
+    Without an injected pool this lazily attaches to the process-wide
+    shared pool (:func:`repro.experiments.pool.get_shared_pool`) on
+    the first batch — the engine's historic parallel path.  The pool's
+    owner keeps its lifecycle: :meth:`close` never shuts down the
+    shared pool (the CLI/atexit hook reaps it) nor an injected one.
+    """
+
+    name = "pool"
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        pool: "WorkerPool | None" = None,
+    ) -> None:
+        if pool is not None:
+            self.workers = pool.max_workers
+        else:
+            self.workers = max(1, int(workers or (os.cpu_count() or 1)))
+        self._injected_pool = pool
+
+    def _pool(self) -> "WorkerPool":
+        if self._injected_pool is not None:
+            return self._injected_pool
+        from repro.experiments.pool import get_shared_pool
+
+        return get_shared_pool(self.workers)
+
+    def run_points(
+        self, spec: "SweepSpec", indices: Sequence[int]
+    ) -> list[tuple[int, dict[str, Any]]]:
+        from repro.experiments.parallel import (
+            _execute_point_job,
+            execute_point,
+        )
+
+        pool = self._pool()
+        if pool.max_workers == 1 or len(indices) == 1:
+            return [(i, execute_point(spec, i)) for i in indices]
+        computed = pool.map(
+            _execute_point_job, repeat(spec.to_dict()), indices,
+            limit=self.workers,
+        )
+        return list(zip(indices, computed))
+
+
+@register_executor(
+    "serial",
+    title="In-process serial execution (the golden reference)",
+    description=(
+        "Computes every sweep point on the calling thread, in order. "
+        "No processes, no transport — this is the reference backend "
+        "all others must match byte for byte."
+    ),
+    tags=("local", "reference"),
+)
+def _make_serial(workers: int | None = None) -> SerialExecutor:
+    return SerialExecutor()
+
+
+@register_executor(
+    "pool",
+    title="Process-wide persistent fork pool (the default parallel path)",
+    description=(
+        "Fans points over the shared WorkerPool — one lazy fork per "
+        "process, reused by every sweep.  Identical to passing "
+        "--workers N without an --executor: the engine's historic "
+        "parallel behaviour, addressable by name."
+    ),
+    tags=("local",),
+)
+def _make_pool(workers: int | None = None) -> PoolExecutor:
+    return PoolExecutor(workers=workers)

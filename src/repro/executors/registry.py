@@ -1,0 +1,192 @@
+"""The executor registry: one decorator turns a backend into a plugin.
+
+Mirrors :mod:`repro.allocators.registry` and
+:mod:`repro.workloads.registry`: backends self-register with
+:func:`register_executor` ::
+
+    @register_executor(
+        "my-backend",
+        title="My backend in one line",
+        tags=("extension",),
+    )
+    def make_my_backend(workers=None):
+        return MyExecutor(workers)
+
+and every consumer — ``SweepEngine(executor=...)``, the CLI's
+``--executor`` flag, ``POST /jobs`` submissions carrying an
+``executor`` key, ``python -m repro executors`` — resolves backends
+through this table.  Factories take the requested worker count
+(``None`` means "backend default") and return a ready
+:class:`~repro.executors.api.Executor`.
+
+Choosing an executor can never change a result byte — backends are
+required to be payload-identical — so executor names deliberately do
+not participate in cache keys or job ids, exactly like worker counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.errors import ConfigError
+from repro.executors.api import Executor
+
+__all__ = [
+    "ExecutorInfo",
+    "UnknownExecutorError",
+    "register_executor",
+    "unregister_executor",
+    "get_executor",
+    "get_executor_info",
+    "executor_names",
+    "iter_executor_info",
+]
+
+
+class UnknownExecutorError(ConfigError):
+    """Raised when a spec resolves to no registered executor."""
+
+
+#: ``factory(workers) -> Executor`` — ``workers=None`` means default.
+ExecutorFactory = Callable[..., Executor]
+
+
+@dataclass(frozen=True)
+class ExecutorInfo:
+    """Registry metadata of one execution backend.
+
+    Attributes
+    ----------
+    name:
+        Registry spec — what ``--executor`` and job submissions accept.
+    title:
+        One-line human title (``python -m repro executors`` shows it).
+    description:
+        How the backend runs points and what knobs it honours.
+    tags:
+        Free-form labels (``"local"``, ``"distributed"`` …).
+    factory:
+        ``factory(workers=None)`` producing a ready :class:`Executor`.
+    """
+
+    name: str
+    title: str
+    description: str = ""
+    tags: tuple[str, ...] = ()
+    factory: ExecutorFactory = field(repr=False, default=None)  # type: ignore[assignment]
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "title": self.title,
+            "description": self.description,
+            "tags": list(self.tags),
+        }
+
+
+#: spec → registered backend metadata (registration order preserved).
+_REGISTRY: dict[str, ExecutorInfo] = {}
+
+
+_builtins_loaded = False
+
+
+def _ensure_builtin_executors() -> None:
+    # The flag flips *before* the imports: the built-ins call
+    # register_executor during their own import, which lands back here.
+    global _builtins_loaded
+    if _builtins_loaded:
+        return
+    _builtins_loaded = True
+    from importlib import import_module
+
+    import_module("repro.executors.builtin")
+    import_module("repro.executors.subproc")
+
+
+def register_executor(
+    name: str,
+    *,
+    title: str = "",
+    description: str = "",
+    tags: tuple[str, ...] = (),
+    replace: bool = False,
+) -> Callable[[ExecutorFactory], ExecutorFactory]:
+    """Factory decorator registering a backend under ``name``.
+
+    Registering a taken spec raises unless ``replace=True`` (plugins
+    overriding a built-in must say so explicitly).
+    """
+
+    def decorate(factory: ExecutorFactory) -> ExecutorFactory:
+        # No built-in preload here: the built-ins register through this
+        # very decorator during _ensure_builtin_executors().  A plugin
+        # claiming a built-in name early still collides — the built-in
+        # import raises at the first registry lookup.
+        if not name:
+            raise ConfigError("executor needs a non-empty registry name")
+        if name in _REGISTRY and not replace:
+            raise ConfigError(
+                f"executor {name!r} already registered; pass "
+                f"replace=True to override"
+            )
+        _REGISTRY[name] = ExecutorInfo(
+            name=name,
+            title=title or getattr(factory, "__doc__", "") or name,
+            description=description,
+            tags=tuple(tags),
+            factory=factory,
+        )
+        return factory
+
+    return decorate
+
+
+def unregister_executor(name: str) -> None:
+    """Remove ``name`` from the registry (test/plugin hygiene helper)."""
+    _REGISTRY.pop(name, None)
+
+
+def get_executor_info(spec: str) -> ExecutorInfo:
+    """The registry entry for ``spec``.
+
+    Raises :class:`UnknownExecutorError` naming every known spec — the
+    CLI and the job service turn this into a helpful hint.
+    """
+    _ensure_builtin_executors()
+    try:
+        return _REGISTRY[spec]
+    except KeyError:
+        raise UnknownExecutorError(
+            f"unknown executor {spec!r}; known executors: "
+            f"{', '.join(sorted(_REGISTRY))} "
+            f"(see 'python -m repro executors')"
+        ) from None
+
+
+def get_executor(spec: str, workers: int | None = None) -> Executor:
+    """Instantiate the backend registered under ``spec``.
+
+    ``workers`` is the requested fan-out (``None`` → backend default);
+    serial backends may ignore it.
+    """
+    executor = get_executor_info(spec).factory(workers=workers)
+    if not isinstance(executor, Executor):
+        raise ConfigError(
+            f"executor factory {spec!r} returned "
+            f"{type(executor).__name__}, not an Executor"
+        )
+    return executor
+
+
+def executor_names() -> list[str]:
+    """Every registered spec, in registration order."""
+    _ensure_builtin_executors()
+    return list(_REGISTRY)
+
+
+def iter_executor_info() -> Iterator[ExecutorInfo]:
+    """Registry entries of every backend, in registration order."""
+    _ensure_builtin_executors()
+    yield from _REGISTRY.values()

@@ -36,7 +36,7 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass, field
 from itertools import repeat
-from typing import Any, Callable, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
 
 import numpy as np
 
@@ -47,6 +47,9 @@ from repro.experiments.store import CACHE_FORMAT, ResultStore
 from repro.io import allocation_from_dict, allocation_to_dict
 from repro.model.platform import Platform
 from repro.taskgen.synthetic import SyntheticConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.executors.api import Executor
 
 __all__ = [
     "SweepSpec",
@@ -576,6 +579,19 @@ class SweepEngine:
         the batches already computed stay cached so a resubmission
         resumes instead of restarting.  ``None`` (the default) keeps
         the single-shot compute path.
+    executor:
+        An execution backend — an :class:`~repro.executors.Executor`
+        instance or a registry name (``"serial"``, ``"pool"``,
+        ``"subprocess-workers"``, any plugin) — that replaces the
+        engine's built-in serial/pool dispatch for every computed
+        point.  ``None`` (the default) keeps the historic behaviour
+        exactly: serial for ``workers <= 1``, the shared pool
+        otherwise.  Backends are payload-identical by contract, so
+        the choice never changes a result byte (and is therefore not
+        part of any cache key).  The engine never closes an executor
+        it was handed — the creator owns its lifecycle (a name is
+        resolved once, and the instance is cleaned up at interpreter
+        exit if nothing closes it earlier).
     """
 
     def __init__(
@@ -585,10 +601,18 @@ class SweepEngine:
         on_point_computed: Callable[[int], None] | None = None,
         pool: WorkerPool | None = None,
         should_cancel: Callable[[], bool] | None = None,
+        executor: "Executor | str | None" = None,
     ) -> None:
         if workers is not None and workers < 0:
             raise ValidationError(f"workers must be >= 0, got {workers}")
-        if workers is None and pool is not None:
+        if isinstance(executor, str):
+            from repro.executors import get_executor
+
+            executor = get_executor(executor, workers=workers)
+        self.executor = executor
+        if workers is None and executor is not None:
+            self.workers = max(1, executor.workers)
+        elif workers is None and pool is not None:
             self.workers = pool.max_workers
         else:
             self.workers = max(1, int(workers or 1))
@@ -676,6 +700,8 @@ class SweepEngine:
     def _compute(
         self, spec: SweepSpec, indices: Sequence[int]
     ) -> list[tuple[int, dict[str, Any]]]:
+        if self.executor is not None:
+            return self.executor.run_points(spec, list(indices))
         pool = self._resolve_pool(len(indices))
         if pool is None:
             return [(i, execute_point(spec, i)) for i in indices]

@@ -93,8 +93,10 @@ class WorkerPool:
         if executor is None or not getattr(executor, "_broken", False):
             return False
         log.warning(
-            "worker pool is broken (%s); reaping dead executor",
+            "worker pool is broken (%s); reaping dead executor "
+            "(%d processes, %d spawn(s) so far)",
             getattr(executor, "_broken", None) or "workers died",
+            self.max_workers, self.spawn_count,
         )
         self._executor = None
         executor.shutdown(wait=False)
@@ -159,15 +161,22 @@ class WorkerPool:
             return [fn(*args) for args in calls]
         try:
             return self._dispatch(fn, calls, limit)
-        except BrokenProcessPool:
-            log.warning("worker pool broke; respawning and retrying once")
+        except BrokenProcessPool as exc:
+            log.warning(
+                "worker pool broke; respawning and retrying once "
+                "(%d processes; cause: %s)",
+                self.max_workers,
+                " ".join(str(exc).split()) or "workers died",
+            )
             self.shutdown(wait=False)
             try:
                 return self._dispatch(fn, calls, limit)
-            except BrokenProcessPool:
+            except BrokenProcessPool as exc:
                 log.warning(
                     "respawned worker pool broke too; running this "
-                    "batch serially in-process"
+                    "batch serially in-process (%d processes; cause: %s)",
+                    self.max_workers,
+                    " ".join(str(exc).split()) or "workers died",
                 )
                 self.shutdown(wait=False)
                 return [fn(*args) for args in calls]
@@ -240,6 +249,11 @@ def get_shared_pool(max_workers: int | None = None) -> WorkerPool:
             atexit.register(shutdown_shared_pool)
             _atexit_registered = True
     elif requested > _shared_pool.max_workers:
+        log.info(
+            "replacing shared worker pool: %d -> %d processes "
+            "(reason: larger fan-out requested)",
+            _shared_pool.max_workers, requested,
+        )
         _shared_pool.shutdown()
         _shared_pool = WorkerPool(requested)
     else:

@@ -10,8 +10,10 @@ the actual maths.  This store keeps the same *keys* (the engine's
 but packs the *values* into per-experiment shards::
 
     <root>/store.json              # format marker ({"format": 2})
-    <root>/<kind>/data.jsonl       # append-only record log
+    <root>/<kind>/data.jsonl       # append-only record log (primary)
     <root>/<kind>/index.jsonl      # append-only hash → (offset, length)
+    <root>/<kind>/data.<w>.jsonl   # writer <w>'s segment (optional)
+    <root>/<kind>/index.<w>.jsonl  # writer <w>'s segment index
 
 Each ``data.jsonl`` record is the canonical JSON
 ``{"key": <key payload>, "payload": <result>}`` on one line — the
@@ -25,9 +27,20 @@ Crash safety comes from append ordering rather than atomic renames: a
 record's index line is written only after its data line, so a killed
 run can leave at most a torn *trailing* line in either file — torn
 data is unreferenced, torn index lines are skipped on load, and a
-missing or stale index is rebuilt by scanning the data log.  The store
-assumes a single writer per root (the sweep engine writes from the
-parent process only); readers are unrestricted.
+missing or stale index is rebuilt by scanning the data log.
+
+Appending is still single-writer — but *per file pair*, not per root.
+A process that may share the root with other live writers (the job
+service next to a CLI run, several CLI runs against one network
+mount) opens the store with a ``writer_id`` and appends to its own
+*segment* (``data.<writer>.jsonl``/``index.<writer>.jsonl``) instead
+of the primary log; no two well-behaved writers ever append to the
+same file, so concurrent runs cannot interleave or tear each other's
+records.  Reads always merge the primary log with every segment —
+entries are content-addressed, so merge order is irrelevant — and
+``repro-hydra cache gc`` folds segments back into the primary log
+(deduplicating by digest) and deletes them.  Readers are unrestricted
+throughout.
 
 Migration from v1 is automatic and one-shot: opening a root that has
 no format marker ingests any ``<kind>/<sha256>.json`` entries into the
@@ -99,14 +112,26 @@ def _is_v1_entry(path: Path) -> bool:
     )
 
 
-class _Shard:
-    """One experiment kind's record log plus its in-memory index."""
+class _Segment:
+    """One append-only data/index file pair plus its in-memory index.
 
-    def __init__(self, directory: Path, readonly: bool = False) -> None:
+    A shard's *primary* segment is ``data.jsonl``/``index.jsonl``;
+    writer segments are ``data.<writer>.jsonl``/``index.<writer>.
+    jsonl``.  Every append-ordering crash-safety invariant lives at
+    this level — a segment is exactly what the whole shard used to be
+    before multi-writer support."""
+
+    def __init__(
+        self,
+        directory: Path,
+        data_path: Path,
+        index_path: Path,
+        readonly: bool = False,
+    ) -> None:
         self.directory = directory
         self.readonly = readonly
-        self.data_path = directory / _DATA_NAME
-        self.index_path = directory / _INDEX_NAME
+        self.data_path = data_path
+        self.index_path = index_path
         self._index: dict[str, tuple[int, int]] | None = None
 
     # -- index ---------------------------------------------------------
@@ -374,6 +399,190 @@ class _Shard:
         return removed
 
 
+_WRITER_ID_CHARS = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_-"
+)
+
+
+def _valid_writer_id(writer_id: str) -> bool:
+    """Writer ids become filename infixes (``data.<writer>.jsonl``),
+    so they must be non-empty and dot/slash-free."""
+    return bool(writer_id) and set(writer_id) <= _WRITER_ID_CHARS
+
+
+class _Shard:
+    """One experiment kind's record logs, merged into a single key
+    space.
+
+    A shard is a primary segment plus zero or more per-writer
+    segments.  Appends go to exactly one segment — the primary when
+    the store has no ``writer_id``, that writer's own file pair
+    otherwise — while reads merge all of them (content addressing
+    makes the merge order irrelevant: two segments holding the same
+    digest hold the same record).  :meth:`merge_segments` (run by
+    ``cache gc``) folds the writer segments back into the primary
+    log and deletes them."""
+
+    def __init__(
+        self,
+        directory: Path,
+        readonly: bool = False,
+        writer_id: str | None = None,
+    ) -> None:
+        self.directory = directory
+        self.readonly = readonly
+        self.writer_id = writer_id
+        self._segments: dict[str | None, _Segment] = {}
+
+    def _segment(self, writer: str | None) -> _Segment:
+        if writer not in self._segments:
+            if writer is None:
+                data = self.directory / _DATA_NAME
+                index = self.directory / _INDEX_NAME
+            else:
+                data = self.directory / f"data.{writer}.jsonl"
+                index = self.directory / f"index.{writer}.jsonl"
+            self._segments[writer] = _Segment(
+                self.directory, data, index, readonly=self.readonly
+            )
+        return self._segments[writer]
+
+    @property
+    def _write_segment(self) -> _Segment:
+        return self._segment(self.writer_id)
+
+    @property
+    def index(self) -> dict[str, tuple[int, int]]:
+        """The write segment's live index (compat surface: the
+        single-writer shard exposed exactly this)."""
+        return self._write_segment.index
+
+    @property
+    def data_path(self) -> Path:
+        """The write segment's data log (compat surface)."""
+        return self._write_segment.data_path
+
+    def writer_ids(self) -> list[str]:
+        """Writer segments present on disk or opened in memory."""
+        ids = {writer for writer in self._segments if writer is not None}
+        try:
+            for path in self.directory.glob("data.*.jsonl"):
+                writer = path.name[len("data.") : -len(".jsonl")]
+                if _valid_writer_id(writer):
+                    ids.add(writer)
+        except OSError:
+            pass
+        return sorted(ids)
+
+    def segments(self) -> list[_Segment]:
+        """Primary first, then writer segments in sorted-id order."""
+        return [self._segment(None)] + [
+            self._segment(writer) for writer in self.writer_ids()
+        ]
+
+    def has_data(self) -> bool:
+        return any(seg.data_path.exists() for seg in self.segments())
+
+    def distinct_count(self) -> int:
+        """Distinct digests across all segments (duplicates across
+        writers are one logical entry)."""
+        digests: set[str] = set()
+        for seg in self.segments():
+            digests.update(seg.index)
+        return len(digests)
+
+    def data_size(self) -> int:
+        return sum(seg._data_size() for seg in self.segments())
+
+    def get_many(
+        self, requests: Sequence[tuple[str, Mapping[str, Any]]]
+    ) -> list[dict[str, Any] | None]:
+        """Merged lookup: each segment serves the keys the previous
+        ones missed."""
+        results: list[dict[str, Any] | None] = [None] * len(requests)
+        for seg in self.segments():
+            pending = [i for i, found in enumerate(results) if found is None]
+            if not pending:
+                break
+            if not seg.data_path.exists():
+                continue
+            found = seg.get_many([requests[i] for i in pending])
+            for i, payload in zip(pending, found):
+                if payload is not None:
+                    results[i] = payload
+        return results
+
+    def append_many(
+        self,
+        entries: Sequence[tuple[str, Mapping[str, Any], Mapping[str, Any]]],
+    ) -> None:
+        self._write_segment.append_many(entries)
+
+    # -- maintenance -------------------------------------------------------
+
+    def merge_segments(self) -> dict[str, int]:
+        """Fold every writer segment into the primary log and delete
+        the segment files.
+
+        Records whose digest the primary (or an earlier segment)
+        already holds are dropped — content addressing guarantees they
+        are byte-identical payloads, so deduplication loses nothing.
+        Crash-tolerant by the same append ordering as any write: a
+        kill mid-merge leaves the copied records live in the primary
+        and the not-yet-deleted segment still intact; the next gc
+        simply dedupes them again."""
+        primary = self._segment(None)
+        merged_entries = 0
+        writers = self.writer_ids()
+        for writer in writers:
+            seg = self._segment(writer)
+            records: list[
+                tuple[str, Mapping[str, Any], Mapping[str, Any]]
+            ] = []
+            if seg.index and seg.data_path.exists():
+                with seg.data_path.open("rb") as handle:
+                    for digest, (offset, length) in seg.index.items():
+                        if digest in primary.index:
+                            continue
+                        handle.seek(offset)
+                        raw = handle.read(length)
+                        try:
+                            record = json.loads(raw)
+                        except json.JSONDecodeError:
+                            continue  # corrupt region: nothing to keep
+                        if (
+                            not isinstance(record, dict)
+                            or "key" not in record
+                            or "payload" not in record
+                        ):
+                            continue
+                        records.append(
+                            (digest, record["key"], record["payload"])
+                        )
+            if records:
+                primary.append_many(records)
+                merged_entries += len(records)
+            seg.clear()
+            self._segments.pop(writer, None)
+        return {
+            "merged_segments": len(writers),
+            "merged_entries": merged_entries,
+        }
+
+    def compact(self) -> dict[str, int]:
+        """Merge writer segments into the primary, then compact it."""
+        summary = self.merge_segments()
+        summary.update(self._segment(None).compact())
+        return summary
+
+    def clear(self) -> int:
+        removed = self.distinct_count()
+        for seg in self.segments():
+            seg.clear()
+        self._segments = {}
+        return removed
+
+
 class ResultStore:
     """Directory-backed, sharded store of per-point sweep results.
 
@@ -400,6 +609,16 @@ class ResultStore:
         indexes**: a missing or stale ``index.jsonl`` is rebuilt
         in-memory only, so reads work even from a read-only
         filesystem (e.g. a ``chmod 0555`` cache directory).
+    writer_id:
+        Append to a private per-writer segment
+        (``data.<writer_id>.jsonl``) instead of the primary log.
+        Pass one whenever another live process may write the same
+        root concurrently — each process picks a distinct id (the job
+        service uses ``serve<pid>``) and their appends can never
+        interleave.  Reads are unaffected (every handle merges all
+        segments), and ``gc`` later folds segments back into the
+        primary log.  Must be non-empty ``[A-Za-z0-9_-]`` and is
+        incompatible with ``readonly``.
     """
 
     def __init__(
@@ -408,9 +627,21 @@ class ResultStore:
         *,
         migrate: bool = True,
         readonly: bool = False,
+        writer_id: str | None = None,
     ) -> None:
         self.directory = Path(directory)
         self.readonly = readonly
+        if writer_id is not None:
+            if readonly:
+                raise ValidationError(
+                    "writer_id is meaningless on a readonly store"
+                )
+            if not _valid_writer_id(writer_id):
+                raise ValidationError(
+                    f"invalid writer_id {writer_id!r}: need non-empty "
+                    f"[A-Za-z0-9_-]"
+                )
+        self.writer_id = writer_id
         if not readonly:
             try:
                 self.directory.mkdir(parents=True, exist_ok=True)
@@ -465,7 +696,9 @@ class ResultStore:
             if not kind or "/" in kind or kind.startswith("."):
                 raise ValidationError(f"invalid experiment kind {kind!r}")
             self._shards[kind] = _Shard(
-                self.directory / kind, readonly=self.readonly
+                self.directory / kind,
+                readonly=self.readonly,
+                writer_id=self.writer_id,
             )
         return self._shards[kind]
 
@@ -480,7 +713,12 @@ class ResultStore:
         kinds = set(self._shards)
         if self.directory.is_dir():
             for child in self.directory.iterdir():
-                if child.is_dir() and (child / _DATA_NAME).exists():
+                if child.is_dir() and (
+                    (child / _DATA_NAME).exists()
+                    # A kind dir holding only writer segments (its
+                    # primary log never materialised) is still a shard.
+                    or any(child.glob("data.*.jsonl"))
+                ):
                     kinds.add(child.name)
         return sorted(kinds)
 
@@ -500,7 +738,7 @@ class ResultStore:
         if not key_payloads:
             return []
         shard = self._shard(kind)
-        if not shard.data_path.exists():
+        if not shard.has_data():
             self.misses += len(key_payloads)
             return [None] * len(key_payloads)
         results = shard.get_many(
@@ -596,7 +834,8 @@ class ResultStore:
 
     def __len__(self) -> int:
         return sum(
-            len(self._shard(kind).index) for kind in self._shard_kinds()
+            self._shard(kind).distinct_count()
+            for kind in self._shard_kinds()
         )
 
     def clear(self) -> int:
@@ -607,14 +846,16 @@ class ResultStore:
         )
 
     def gc(self) -> dict[str, Any]:
-        """Compact every shard: drop superseded duplicates, torn tails,
-        and leftover empty shard directories.  Returns a summary."""
+        """Compact every shard: fold per-writer segments back into the
+        primary log (deduplicating by digest), drop superseded
+        duplicates, torn tails, and leftover empty shard directories.
+        Returns a summary."""
         self._require_writable("gc")
         shards: dict[str, dict[str, int]] = {}
         reclaimed = 0
         for kind in self._shard_kinds():
             shard = self._shard(kind)
-            if not shard.index:
+            if shard.distinct_count() == 0:
                 shard.clear()
                 try:
                     shard.directory.rmdir()
@@ -628,16 +869,42 @@ class ResultStore:
             "shards": shards,
             "entries": sum(s["entries"] for s in shards.values()),
             "reclaimed_bytes": reclaimed,
+            "merged_segments": sum(
+                s["merged_segments"] for s in shards.values()
+            ),
+            "merged_entries": sum(
+                s["merged_entries"] for s in shards.values()
+            ),
         }
 
     def stats(self) -> dict[str, Any]:
-        """Shape and size of the store (``repro-hydra cache stats``)."""
+        """Shape and size of the store (``repro-hydra cache stats``).
+
+        ``entries`` counts *distinct* digests (a record present in the
+        primary log and in a writer segment is one logical entry);
+        ``segment_files``/``segment_bytes`` total the per-writer
+        segment data files awaiting a ``gc`` merge."""
         shards = {}
+        segment_files = 0
+        segment_bytes = 0
         for kind in self._shard_kinds():
             shard = self._shard(kind)
+            segments = {}
+            for writer in shard.writer_ids():
+                seg = shard._segment(writer)
+                if not seg.data_path.exists():
+                    continue
+                size = seg._data_size()
+                segments[writer] = {
+                    "entries": len(seg.index),
+                    "data_bytes": size,
+                }
+                segment_files += 1
+                segment_bytes += size
             shards[kind] = {
-                "entries": len(shard.index),
-                "data_bytes": shard._data_size(),
+                "entries": shard.distinct_count(),
+                "data_bytes": shard.data_size(),
+                "segments": segments,
             }
         return {
             "directory": str(self.directory),
@@ -646,6 +913,8 @@ class ResultStore:
             "entries": sum(s["entries"] for s in shards.values()),
             "data_bytes": sum(s["data_bytes"] for s in shards.values()),
             "pending_v1_entries": self.pending_v1_entries(),
+            "segment_files": segment_files,
+            "segment_bytes": segment_bytes,
             "shards": shards,
         }
 

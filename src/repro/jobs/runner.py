@@ -52,7 +52,7 @@ import time
 from dataclasses import dataclass
 from pathlib import Path
 from queue import SimpleQueue
-from typing import Any, Callable, Mapping
+from typing import TYPE_CHECKING, Any, Callable, Mapping
 
 from repro.errors import (
     CacheError,
@@ -65,6 +65,9 @@ from repro.experiments.api import Experiment, ExperimentResult, RawRun
 from repro.experiments.config import ExperimentScale, get_scale
 from repro.experiments.parallel import SweepEngine
 from repro.experiments.store import ExperimentStore, cache_key
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.executors.api import Executor
 
 __all__ = [
     "Job",
@@ -123,7 +126,10 @@ class JobRequest:
     --config``, as a dict) must be given.
     ``allocators``/``workloads`` mirror the CLI's repeatable
     ``--allocator``/``--workload`` grid overrides and only apply to
-    ``spec`` submissions.
+    ``spec`` submissions.  ``executor`` names the execution backend
+    (``python -m repro executors`` lists them) — an execution knob
+    like the worker count, so it participates in neither the job id
+    nor any cache key.
     """
 
     experiment: str | None = None
@@ -133,6 +139,7 @@ class JobRequest:
     seed: int | None = None
     allocators: tuple[str, ...] | None = None
     workloads: tuple[str, ...] | None = None
+    executor: str | None = None
 
     def __post_init__(self) -> None:
         given = sum(
@@ -179,7 +186,7 @@ class JobRequest:
             return cls(spec=dict(body))
         known = {
             "experiment", "spec", "ablation", "scale", "seed",
-            "allocator", "workload",
+            "allocator", "workload", "executor",
         }
         unknown = set(body) - known
         if unknown:
@@ -221,6 +228,12 @@ class JobRequest:
                 "job request 'ablation' must be an ablation study "
                 "document (object)"
             )
+        executor = body.get("executor")
+        if executor is not None and not isinstance(executor, str):
+            raise ValidationError(
+                "job request 'executor' must be an executor name "
+                "(string)"
+            )
         return cls(
             experiment=experiment,
             spec=dict(spec) if spec is not None else None,
@@ -229,6 +242,7 @@ class JobRequest:
             seed=seed,
             allocators=names("allocator"),
             workloads=names("workload"),
+            executor=executor,
         )
 
     def to_dict(self) -> dict[str, Any]:
@@ -248,6 +262,8 @@ class JobRequest:
             doc["allocator"] = list(self.allocators)
         if self.workloads is not None:
             doc["workload"] = list(self.workloads)
+        if self.executor is not None:
+            doc["executor"] = self.executor
         return doc
 
     def build(self) -> tuple[Experiment, ExperimentScale]:
@@ -256,6 +272,10 @@ class JobRequest:
         All by-name lookups raise their typed errors here — at submit
         time, before anything is queued or computed.
         """
+        if self.executor is not None:
+            from repro.executors import get_executor_info
+
+            get_executor_info(self.executor)  # typed error when unknown
         scale = get_scale(self.scale)
         if self.seed is not None:
             scale = scale.with_overrides(seed=self.seed)
@@ -295,9 +315,15 @@ class Job:
         experiment: Experiment,
         scale: ExperimentScale,
         request: JobRequest | None = None,
+        executor: str | None = None,
     ) -> None:
         self.id = job_id
         self.request = request
+        #: Requested execution backend (``None`` → the runner's
+        #: default).  An execution knob, not part of the job id.
+        self.executor = executor or (
+            request.executor if request is not None else None
+        )
         self.state = JobState.QUEUED
         self.total_points = 0
         self.computed_points = 0
@@ -383,6 +409,20 @@ class JobRunner:
         Optional hook called (from the executing thread) with the
         :class:`Job` after every progress update; transports can use
         it for logging or streaming.
+    executor:
+        Default execution backend — a registry name or an
+        :class:`~repro.executors.Executor` instance — for jobs that
+        do not name one themselves.  ``None`` keeps the engine's
+        historic serial/pool dispatch.  Name-resolved backends are
+        instantiated once per runner, reused across jobs, and closed
+        by :meth:`close`; an injected instance stays the caller's to
+        close.
+    store_writer:
+        ``writer_id`` for the runner's store: pass one whenever
+        another process may write the same ``cache_dir`` concurrently
+        (the job service does — ``serve<pid>``) so each process
+        appends to its own segment.  ``repro-hydra cache gc`` merges
+        segments back into the primary log.
     """
 
     def __init__(
@@ -390,14 +430,18 @@ class JobRunner:
         cache_dir: str | Path | None = None,
         workers: int | None = None,
         on_progress: Callable[[Job], None] | None = None,
+        executor: "str | Executor | None" = None,
+        store_writer: str | None = None,
     ) -> None:
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.workers = workers
         self.on_progress = on_progress
+        self.executor = executor
+        self.store_writer = store_writer
         # Fails fast (typed CacheError) on an unusable root, before
         # any job is accepted.
         self._store = (
-            ExperimentStore(self.cache_dir)
+            ExperimentStore(self.cache_dir, writer_id=store_writer)
             if self.cache_dir is not None
             else None
         )
@@ -405,6 +449,10 @@ class JobRunner:
         self._queue: SimpleQueue[str | None] = SimpleQueue()
         self._lock = threading.RLock()
         self._thread: threading.Thread | None = None
+        #: Backends this runner instantiated by name — shared across
+        #: jobs (a subprocess backend keeps its workers warm between
+        #: submissions) and closed with the runner.
+        self._executors: dict[str, "Executor"] = {}
 
     # -- registry --------------------------------------------------------
 
@@ -456,10 +504,14 @@ class JobRunner:
         CLI keep their typed error handling.
         """
         experiment, scale = request.build()
-        return self.run_experiment(experiment, scale)
+        return self.run_experiment(experiment, scale,
+                                   executor=request.executor)
 
     def run_experiment(
-        self, experiment: Experiment, scale: ExperimentScale
+        self,
+        experiment: Experiment,
+        scale: ExperimentScale,
+        executor: str | None = None,
     ) -> Job:
         """Synchronous execution path for an already-built experiment
         (what the CLI uses for every subcommand, ``sweep`` included)."""
@@ -470,7 +522,8 @@ class JobRunner:
                 if existing is None or existing.state in (
                     JobState.FAILED, JobState.CANCELLED,
                 ):
-                    job = Job(job_id, experiment, scale)
+                    job = Job(job_id, experiment, scale,
+                              executor=executor)
                     self._jobs[job_id] = job
                     break
                 if existing.state == JobState.DONE:
@@ -584,11 +637,25 @@ class JobRunner:
                 return False
             job.started = time.time()
             job.state = JobState.RUNNING
+        try:
+            executor = self._resolve_executor(job.executor)
+        except Exception as exc:
+            job._exception = exc
+            job.error = {
+                "type": type(exc).__name__,
+                "message": " ".join(str(exc).split()),
+            }
+            job._finish(JobState.FAILED)
+            self._notify(job)
+            if reraise:
+                raise
+            return True
         engine = SweepEngine(
             workers=self.workers,
             cache=self._store,
             on_point_computed=lambda index: self._point_computed(job),
             should_cancel=job._cancel.is_set,
+            executor=executor,
         )
         try:
             sweeps = tuple(job._experiment.sweeps(job._scale))
@@ -634,21 +701,45 @@ class JobRunner:
         job.computed_points += 1
         self._notify(job)
 
+    def _resolve_executor(self, spec: str | None) -> "Executor | None":
+        """The backend instance for ``spec`` (job's choice, falling
+        back to the runner default; ``None`` → engine's built-in
+        dispatch).  Name-resolved backends are cached per runner so a
+        subprocess backend keeps its workers warm across jobs."""
+        chosen: "str | Executor | None" = spec or self.executor
+        if chosen is None or not isinstance(chosen, str):
+            return chosen
+        with self._lock:
+            if chosen not in self._executors:
+                from repro.executors import get_executor
+
+                self._executors[chosen] = get_executor(
+                    chosen, workers=self.workers
+                )
+            return self._executors[chosen]
+
     # -- lifecycle -------------------------------------------------------
 
     def close(self) -> None:
         """Stop the background worker thread (idempotent).
 
         Jobs still queued stay ``queued``; the runner can be reused —
-        the next :meth:`submit` restarts the thread.  The process-wide
-        worker pool is deliberately left alone (its owner — CLI,
-        server, pytest session — reaps it).
+        the next :meth:`submit` restarts the thread.  Backends this
+        runner instantiated by name are closed (a reused runner simply
+        re-instantiates them); an injected executor instance and the
+        process-wide worker pool are deliberately left alone (their
+        owner — CLI, server, pytest session — reaps them).
         """
         thread = self._thread
         if thread is not None and thread.is_alive():
             self._queue.put(None)
             thread.join(timeout=5.0)
         self._thread = None
+        with self._lock:
+            executors = list(self._executors.values())
+            self._executors.clear()
+        for executor in executors:
+            executor.close()
 
     def __enter__(self) -> "JobRunner":
         return self

@@ -74,6 +74,18 @@ def test_shared_persistent_pool_reproduces_fixture():
         assert pool.spawn_count == 1
 
 
+def test_subprocess_executor_reproduces_fixture():
+    """The fault-tolerant subprocess backend is payload-identical to
+    the serial reference on a pinned fixture (multi-point, so the
+    NDJSON workers really carry the batch)."""
+    from repro.executors import SubprocessExecutor
+
+    name = "fig2_mini"
+    with SubprocessExecutor(workers=2) as executor:
+        engine = SweepEngine(executor=executor)
+        assert golden_summary(name, engine) == _fixture(name)
+
+
 def test_v1_migrated_cache_reproduces_fixture(tmp_path):
     """A PR-1-era JSON-per-point cache directory, migrated on open,
     must serve a warm run byte-identically with zero recomputes."""

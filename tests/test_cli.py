@@ -743,3 +743,121 @@ class TestTypedErrorsAndWorkersValidation:
         err = capsys.readouterr().err
         assert err.startswith("repro-hydra: ValidationError:")
         assert "no cache directory" in err
+
+
+class TestExecutorsCommand:
+    def test_text_lists_every_registered_executor(self, capsys):
+        from repro.executors import executor_names
+
+        assert main(["executors"]) == 0
+        out = capsys.readouterr().out
+        for name in executor_names():
+            assert name in out
+
+    def test_json_lists_specs(self, capsys):
+        from repro.executors import executor_names
+
+        assert main(["executors", "--format", "json"]) == 0
+        specs = json.loads(capsys.readouterr().out)
+        assert [s["name"] for s in specs] == executor_names()
+        assert all("title" in s and "tags" in s for s in specs)
+
+    def test_describe_one(self, capsys):
+        assert main(["executors", "subprocess-workers"]) == 0
+        out = capsys.readouterr().out
+        assert "subprocess-workers" in out
+        assert "heartbeat" in out.lower()
+
+    def test_unknown_name_errors_with_known_list(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["executors", "warp-drive"])
+        err = capsys.readouterr().err
+        assert "warp-drive" in err and "serial" in err
+
+    def test_list_mentions_executors_meta_command(self, capsys):
+        assert main(["list"]) == 0
+        assert "executors" in capsys.readouterr().out
+
+
+class TestExecutorFlag:
+    def test_run_with_serial_backend(self, capsys):
+        assert main(
+            ["fig2", "--scale", "smoke", "--executor", "serial"]
+        ) == 0
+        assert "Fig. 2" in capsys.readouterr().out
+
+    def test_sweep_backends_are_byte_identical(self, tmp_path, capsys):
+        config = tmp_path / "sweep.toml"
+        config.write_text(
+            '[sweep]\n'
+            'name = "exec-cli-mini"\n'
+            'tasksets_per_point = 2\n'
+            'utilization = { start = 0.5, stop = 1.0, step = 0.5 }\n'
+            '[grid]\n'
+            'cores = [2]\n'
+            'heuristic = ["best-fit"]\n'
+            'ordering = ["rm"]\n'
+            'admission = ["rta"]\n'
+        )
+        runs = {}
+        for backend in ("serial", "subprocess-workers"):
+            assert main([
+                "sweep", "--config", str(config), "--scale", "smoke",
+                "--format", "json", "--executor", backend,
+                "--workers", "2",
+            ]) == 0
+            runs[backend] = capsys.readouterr().out
+        assert runs["serial"] == runs["subprocess-workers"]
+
+    def test_unknown_executor_is_one_typed_line_exit_1(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([
+                "fig2", "--scale", "smoke", "--executor", "warp-drive",
+            ])
+        assert excinfo.value.code == 1
+        err = capsys.readouterr().err
+        assert err.startswith("repro-hydra: ")
+        assert "unknown executor" in err
+        assert "Traceback" not in err
+
+    def test_serve_validates_executor_upfront(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--executor", "warp-drive", "--port", "0"])
+        assert excinfo.value.code == 1
+        assert "unknown executor" in capsys.readouterr().err
+
+
+class TestCacheSegmentReporting:
+    def _fill_segments(self, root):
+        from repro.experiments.store import ResultStore
+
+        primary = ResultStore(root)
+        primary.put("demo", {"k": 0}, {"v": 0})
+        writer = ResultStore(root, writer_id="serve123")
+        writer.put("demo", {"k": 1}, {"v": 1})
+        writer.put("demo", {"k": 2}, {"v": 2})
+
+    def test_stats_report_writer_segments(self, tmp_path, capsys):
+        self._fill_segments(tmp_path)
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "3 entries" in out
+        assert "writer serve123" in out
+        assert "1 writer segment file(s)" in out
+        assert "cache gc" in out  # points at the merge verb
+
+    def test_gc_reports_the_merge_and_unifies_the_log(
+        self, tmp_path, capsys
+    ):
+        self._fill_segments(tmp_path)
+        assert main(["cache", "gc", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "merged 1 writer segment(s) (2 entries)" in out
+        assert "3 live entries" in out
+        assert not list((tmp_path / "demo").glob("data.*.jsonl"))
+
+        # A second gc has nothing to merge and stays quiet about it.
+        assert main(["cache", "gc", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "merged" not in out
+        assert "3 live entries" in out

@@ -12,6 +12,9 @@ pinned benchmarks cover the sweep engine's hot paths:
 * ``test_rta_batch`` — the vectorised admission-test kernel,
 * ``test_persistent_pool_fanout`` — multi-sweep fan-out through the
   persistent worker pool,
+* ``test_subprocess_executor_fanout`` — multi-sweep fan-out through
+  persistent ``subprocess-workers`` NDJSON workers (the fault-tolerant
+  executor backend's dispatch overhead),
 * ``test_store_warm_read`` / ``test_store_put_many`` — the sharded
   result store's batched read/write paths,
 * ``test_allocator_dispatch`` — the allocator-registry round trip a
@@ -39,6 +42,7 @@ Regenerate the baseline after an *intended* perf change::
 
     PYTHONPATH=src REPRO_SCALE=smoke python -m pytest \
         benchmarks/test_bench_micro.py benchmarks/test_bench_parallel.py \
+        benchmarks/test_bench_executors.py \
         benchmarks/test_bench_store.py benchmarks/test_bench_allocators.py \
         benchmarks/test_bench_workloads.py \
         benchmarks/test_bench_ablate.py \
@@ -64,6 +68,7 @@ PINNED = (
     "test_rta_grid_sweep",
     "test_partition_sweep_fast",
     "test_persistent_pool_fanout",
+    "test_subprocess_executor_fanout",
     "test_store_warm_read",
     "test_store_put_many",
     "test_allocator_dispatch",
