@@ -42,7 +42,8 @@ def test_ablate_runset(benchmark, scale):
     runs, skipped, ids = benchmark(expand)
     assert runs[0].is_baseline
     # one variant per non-incumbent component per axis, skips recorded
-    assert len(runs) + len(skipped) == 1 + (3 + 2 + 4 + 13 + 7)
+    # (allocator axis: 16 registered strategies, 1 incumbent)
+    assert len(runs) + len(skipped) == 1 + (3 + 2 + 4 + 16 + 7)
     assert len(set(ids)) == len(ids)
 
 

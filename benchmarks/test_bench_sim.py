@@ -1,0 +1,94 @@
+"""Bench: detection scoring over a simulated schedule.
+
+A detection-latency sweep scores every sampled attack against every
+simulated schedule, so the per-attack query is a hot path.  Two
+benchmarks measure the same workload — one long UAV-style simulation,
+a few hundred attacks — through the two implementations:
+
+* ``test_detection_scoring`` — the indexed path (one
+  :class:`~repro.sim.detection.DetectionIndex` build, then a bisect
+  per attack), pinned against the committed baseline;
+* ``test_detection_scan_reference`` — the reference per-attack scan
+  over all jobs (``detection_time`` in a loop), kept as the in-run
+  yardstick for the ``check_bench.py`` speedup floor.
+
+Both are asserted result-identical here, so the ratio gate can never
+trade correctness for speed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig1 import build_uav_systems
+from repro.sim.attacks import sample_attacks, surfaces_of
+from repro.sim.detection import (
+    DETECTION_POLICIES,
+    build_surface_map,
+    detection_time,
+    detection_times,
+)
+from repro.sim.runner import simulate_allocation
+
+_DURATION = 60_000.0
+_ATTACKS = 512
+
+
+@pytest.fixture(scope="module")
+def detection_workload():
+    """One long simulated UAV schedule plus a fixed attack sample."""
+    system, allocation, _, _ = build_uav_systems(2)
+    result = simulate_allocation(
+        system,
+        allocation,
+        duration=_DURATION,
+        rng=np.random.default_rng(0),
+        prune_idle_cores=True,
+    )
+    attacks = sample_attacks(
+        _ATTACKS,
+        (0.0, _DURATION * 0.75),
+        surfaces_of(system.security_tasks),
+        rng=np.random.default_rng(42),
+    )
+    return system, result, attacks
+
+
+def test_detection_scoring(benchmark, detection_workload):
+    """Pinned: index build + one bisect query per attack."""
+    system, result, attacks = detection_workload
+
+    def score():
+        return {
+            policy: detection_times(
+                result, attacks, system.security_tasks, policy=policy
+            )
+            for policy in DETECTION_POLICIES
+        }
+
+    scored = benchmark(score)
+    for policy in DETECTION_POLICIES:
+        assert len(scored[policy]) == _ATTACKS
+
+
+def test_detection_scan_reference(benchmark, detection_workload):
+    """The O(jobs × attacks) reference scan the index replaced."""
+    system, result, attacks = detection_workload
+    surface_map = build_surface_map(system.security_tasks)
+
+    def score():
+        return {
+            policy: [
+                detection_time(result, attack, surface_map, policy=policy)
+                for attack in attacks
+            ]
+            for policy in DETECTION_POLICIES
+        }
+
+    scanned = benchmark(score)
+    # The indexed path must be result-identical to the scan.
+    for policy in DETECTION_POLICIES:
+        assert scanned[policy] == detection_times(
+            result, attacks, system.security_tasks, policy=policy
+        )

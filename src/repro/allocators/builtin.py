@@ -16,6 +16,7 @@ bin-packing family of :mod:`repro.allocators.binpack`.
 
 from __future__ import annotations
 
+from repro.allocators.adaptive import AdaptiveAllocator
 from repro.allocators.binpack import BIN_PACKING_RULES, BinPackingAllocator
 from repro.allocators.registry import register_allocator
 from repro.core.hydra import HydraAllocator
@@ -80,6 +81,43 @@ register_allocator(
     ),
     tags=("extension", "greedy"),
 )(NonPreemptiveHydraAllocator)
+
+register_allocator(
+    "adaptive",
+    title="Period-adaptation pass over HYDRA (closed form)",
+    description=(
+        "Re-solves every core's security periods in priority order "
+        "after the HYDRA placement (arXiv:1911.11937 style).  With the "
+        "closed-form solver over HYDRA this is a property-tested fixed "
+        "point; it re-tightens inners whose periods are not per-core "
+        "optimal (construct AdaptiveAllocator(inner=...) directly)."
+    ),
+    tags=("extension", "adaptive"),
+)(AdaptiveAllocator)
+
+register_allocator(
+    "adaptive[exact-rta]",
+    title="Exact-RTA period tightening over HYDRA",
+    description=(
+        "Keeps HYDRA's placement but replaces the linearised Eq. (7) "
+        "periods with exact response-time optima — never looser, "
+        "usually tighter monitoring at the same task→core map."
+    ),
+    tags=("extension", "adaptive"),
+)(lambda: AdaptiveAllocator(solver="exact-rta"))
+
+register_allocator(
+    "adaptive[contego]",
+    title="Contego-style mode-change-safe period adaptation",
+    description=(
+        "Re-adapts each period against both the normal mode and a "
+        "simulated mode change (real-time WCETs inflated 1.5×, "
+        "arXiv:1705.00138 style) and keeps the looser of the two; "
+        "cores that cannot sustain the mode change revert to HYDRA's "
+        "periods."
+    ),
+    tags=("extension", "adaptive"),
+)(lambda: AdaptiveAllocator(solver="exact-rta", mode_factor=1.5))
 
 register_allocator(
     "singlecore",

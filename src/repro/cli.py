@@ -532,7 +532,7 @@ def _selected_experiments(args) -> list["Experiment"]:
         return [AblationExperiment(config)]
     if args.experiment == "sweep":
         from repro.experiments.scenario import (
-            ScenarioExperiment,
+            build_scenario_experiment,
             load_scenario,
         )
 
@@ -541,7 +541,7 @@ def _selected_experiments(args) -> list["Experiment"]:
             config = config.with_allocators(args.allocator)
         if args.workload:
             config = config.with_workloads(args.workload)
-        return [ScenarioExperiment(config)]
+        return [build_scenario_experiment(config)]
     return [get_experiment(args.experiment)]
 
 

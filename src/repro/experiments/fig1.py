@@ -41,7 +41,11 @@ from repro.model.platform import Platform
 from repro.model.system import SystemModel
 from repro.partition.heuristics import try_partition_tasks
 from repro.sim.attacks import sample_attacks, surfaces_of
-from repro.sim.detection import detection_times
+from repro.sim.detection import (
+    build_surface_map,
+    detection_times,
+    undetected_breakdown,
+)
 from repro.sim.runner import simulate_allocation
 from repro.taskgen.security_apps import table1_security_tasks
 from repro.taskgen.uav import uav_rt_tasks
@@ -65,14 +69,26 @@ __all__ = [
 
 @dataclass(frozen=True)
 class Fig1SchemeResult:
-    """Detection-time sample of one scheme on one platform."""
+    """Detection-time sample of one scheme on one platform.
+
+    ``inf`` entries in ``times`` are undetected attacks; ``censored``
+    counts the ones a monitor *would* have caught had the horizon not
+    ended first (the rest had no monitor at all — never the case in the
+    UAV study, where every Table I surface is monitored).
+    """
 
     scheme: str
     times: tuple[float, ...]
+    censored: int = 0
 
     @property
     def cdf(self) -> EmpiricalCDF:
         return EmpiricalCDF(self.times)
+
+    @property
+    def undetectable(self) -> int:
+        """Undetected attacks whose surface no task monitors."""
+        return self.cdf.undetected - self.censored
 
     @property
     def mean(self) -> float:
@@ -152,9 +168,17 @@ def observe_detections(
     rng: np.random.Generator,
     policy: str = "release-after",
     release_jitter: float = 0.0,
-) -> tuple[float, ...]:
+) -> tuple[tuple[float, ...], int, int]:
     """Simulate ``allocation`` and measure ``sim_trials`` attack
-    detections (the Fig. 1 observation protocol)."""
+    detections (the Fig. 1 observation protocol).
+
+    Returns ``(times, censored, undetectable)``: the attack window
+    stops well before the horizon so the slowest monitor can usually
+    still fire, but an attack close to the window end can remain
+    undetected purely because the simulation stopped — those samples
+    are *censored*, not evidence of undetectability, and are counted
+    separately (see :func:`repro.sim.detection.undetected_breakdown`).
+    """
     result = simulate_allocation(
         system,
         allocation,
@@ -173,9 +197,12 @@ def observe_detections(
         surfaces_of(system.security_tasks),
         rng=rng,
     )
-    return tuple(
-        detection_times(result, attacks, system.security_tasks, policy=policy)
+    times = detection_times(
+        result, attacks, system.security_tasks, policy=policy
     )
+    surface_map = build_surface_map(system.security_tasks)
+    censored, undetectable = undetected_breakdown(times, attacks, surface_map)
+    return tuple(times), censored, undetectable
 
 
 def fig1_sweep_spec(
@@ -215,7 +242,9 @@ class Fig1Experiment(Experiment):
         "attack it at random instants, and report detection-time CDFs "
         "per core count."
     )
-    version = 1
+    # 2: payloads/data carry explicit censored counts (undetected
+    # attacks split into horizon-censored vs truly undetectable).
+    version = 2
     tags = ("paper", "figure")
     order = 20
     columns = ("cores", "scheme", "detection_time_ms")
@@ -242,10 +271,14 @@ class Fig1Experiment(Experiment):
             Fig1Point(
                 cores=int(payload["cores"]),
                 hydra=Fig1SchemeResult(
-                    scheme="hydra", times=tuple(payload["hydra_times"])
+                    scheme="hydra",
+                    times=tuple(payload["hydra_times"]),
+                    censored=int(payload.get("hydra_censored", 0)),
                 ),
                 single=Fig1SchemeResult(
-                    scheme="singlecore", times=tuple(payload["single_times"])
+                    scheme="singlecore",
+                    times=tuple(payload["single_times"]),
+                    censored=int(payload.get("single_censored", 0)),
                 ),
             )
             for payload in raw.payloads
@@ -259,7 +292,9 @@ class Fig1Experiment(Experiment):
                 {
                     "cores": p.cores,
                     "hydra_times": list(p.hydra.times),
+                    "hydra_censored": p.hydra.censored,
                     "single_times": list(p.single.times),
+                    "single_censored": p.single.censored,
                 }
                 for p in domain.points
             ],
@@ -273,10 +308,12 @@ class Fig1Experiment(Experiment):
                     hydra=Fig1SchemeResult(
                         scheme="hydra",
                         times=tuple(float(t) for t in p["hydra_times"]),
+                        censored=int(p.get("hydra_censored", 0)),
                     ),
                     single=Fig1SchemeResult(
                         scheme="singlecore",
                         times=tuple(float(t) for t in p["single_times"]),
+                        censored=int(p.get("single_censored", 0)),
                     ),
                 )
                 for p in data["points"]
@@ -367,4 +404,12 @@ def format_fig1(result: Fig1Result, grid_points: int = 12) -> str:
             f"{mean_s:.0f} ms → {percent(point.speedup)} faster "
             f"(paper: {paper} for {point.cores} cores)"
         )
+        undetected = [
+            f"{scheme.scheme}: {scheme.censored} censored by horizon, "
+            f"{scheme.undetectable} undetectable"
+            for scheme in (point.hydra, point.single)
+            if scheme.cdf.undetected
+        ]
+        if undetected:
+            blocks.append("undetected attacks — " + "; ".join(undetected))
     return "\n\n".join(blocks)

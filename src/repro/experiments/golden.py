@@ -169,7 +169,9 @@ def fig1_mini_aggregate(spec: SweepSpec, payloads) -> list[dict[str, Any]]:
         {
             "cores": payload["cores"],
             "hydra_times": payload["hydra_times"],
+            "hydra_censored": payload["hydra_censored"],
             "single_times": payload["single_times"],
+            "single_censored": payload["single_censored"],
         }
         for payload in payloads
     ]

@@ -243,7 +243,11 @@ def register_point_runner(
 #: ``_execute_point_job`` by reference), so runners living elsewhere —
 #: e.g. the ``scenario`` runner — are resolved by importing their home
 #: module on the first miss.
-_RUNNER_MODULES = ("repro.experiments.scenario", "repro.workloads.sample")
+_RUNNER_MODULES = (
+    "repro.experiments.scenario",
+    "repro.experiments.detection",
+    "repro.workloads.sample",
+)
 
 
 def get_point_runner(kind: str) -> PointRunner:
@@ -390,16 +394,20 @@ def run_uav_detection_point(
         policy=params.get("policy", "release-after"),
         release_jitter=float(params.get("release_jitter", 0.0)),
     )
-    hydra_times = observe_detections(
+    hydra_times, hydra_censored, _ = observe_detections(
         hydra_system, hydra_alloc, rng=fig1_rng, **observe
     )
-    single_times = observe_detections(
+    single_times, single_censored, _ = observe_detections(
         single_system, single_alloc, rng=fig1_rng, **observe
     )
+    # Every Table I surface is monitored, so undetected == censored by
+    # the horizon here; the counts make that explicit in the payload.
     return {
         "cores": cores,
         "hydra_times": list(hydra_times),
+        "hydra_censored": hydra_censored,
         "single_times": list(single_times),
+        "single_censored": single_censored,
     }
 
 

@@ -53,6 +53,7 @@ _BUILTIN_MODULES = (
     "repro.experiments.fig3",
     "repro.experiments.quality",
     "repro.experiments.ablations",
+    "repro.experiments.detection",
 )
 
 

@@ -88,10 +88,19 @@ __all__ = [
     "ScenarioPanel",
     "ScenarioResult",
     "ScenarioExperiment",
+    "SCENARIO_KINDS",
     "load_scenario",
     "parse_scenario",
+    "build_scenario_experiment",
     "combo_label",
 ]
+
+#: Result families a TOML scenario can request via ``[sweep] kind``.
+#: ``"acceptance"`` is the classic acceptance/tightness comparison;
+#: ``"detection-latency"`` simulates attack injection and reports
+#: detection-time distributions (see repro.experiments.detection).
+SCENARIO_KINDS = ("acceptance", "detection-latency")
+
 
 def combo_label(
     heuristic: str,
@@ -99,15 +108,20 @@ def combo_label(
     admission: str,
     allocator: str | None = None,
     workload: str | None = None,
+    policy: str | None = None,
 ) -> str:
     """Scheme label of one grid cell, e.g. ``best-fit/rm/rta`` —
-    prefixed ``hydra|…`` when the sweep has an allocator axis and
-    ``uunifast::…`` when it has a workload axis."""
+    prefixed ``hydra|…`` when the sweep has an allocator axis,
+    ``uunifast::…`` when it has a workload axis, and suffixed
+    ``…@release-after`` when a detection-latency sweep has a policy
+    axis."""
     label = f"{heuristic}/{ordering}/{admission}"
     if allocator is not None:
         label = f"{allocator}|{label}"
     if workload is not None:
         label = f"{workload}::{label}"
+    if policy is not None:
+        label = f"{label}@{policy}"
     return label
 
 
@@ -136,6 +150,20 @@ class ScenarioConfig:
     #: with unchanged cell labels and cache keys.
     workloads: tuple[str, ...] = ("paper-synthetic",)
     workload_axis: bool = False
+    #: Result family: ``"acceptance"`` (default, unchanged labels and
+    #: cache keys) or ``"detection-latency"`` (attack-injection
+    #: simulation; see repro.experiments.detection).
+    kind: str = "acceptance"
+    #: Detection policies (``sim.detection.DETECTION_POLICIES`` specs).
+    #: ``policy_axis`` is ``False`` when the config never named a
+    #: ``policy`` axis; only meaningful for the detection kind.
+    policies: tuple[str, ...] = ("release-after",)
+    policy_axis: bool = False
+    #: Simulation overrides for the detection kind; ``None`` inherits
+    #: ``sim_trials`` (attacks per task set) and ``sim_duration_ms``
+    #: from the scale preset.
+    sim_trials: int | None = None
+    sim_duration: float | None = None
     seed: int | None = None
     tasksets_per_point: int | None = None
     utilization_start: float | None = None
@@ -145,6 +173,11 @@ class ScenarioConfig:
     description: str = ""
 
     def __post_init__(self) -> None:
+        if self.kind not in SCENARIO_KINDS:
+            raise ValidationError(
+                f"invalid scenario config: unknown kind {self.kind!r}; "
+                f"expected one of {list(SCENARIO_KINDS)}"
+            )
         # SingleCore dedicates one core to security, so it needs M ≥ 2;
         # reject the combination at config time (both the TOML path and
         # the --allocator override construct a ScenarioConfig) instead
@@ -172,15 +205,20 @@ class ScenarioConfig:
                 for h in self.heuristics:
                     for o in self.orderings:
                         for a in self.admissions:
-                            cell = {
-                                "heuristic": h, "ordering": o,
-                                "admission": a,
-                            }
-                            if self.allocator_axis:
-                                cell = {"allocator": alloc, **cell}
-                            if self.workload_axis:
-                                cell = {"workload": wl, **cell}
-                            cells.append(cell)
+                            for p in self.policies:
+                                cell = {
+                                    "heuristic": h, "ordering": o,
+                                    "admission": a,
+                                }
+                                if self.allocator_axis:
+                                    cell = {"allocator": alloc, **cell}
+                                if self.workload_axis:
+                                    cell = {"workload": wl, **cell}
+                                if self.policy_axis:
+                                    cell = {**cell, "policy": p}
+                                cells.append(cell)
+                                if not self.policy_axis:
+                                    break
         return cells
 
     def with_allocators(self, allocators: Sequence[str]) -> "ScenarioConfig":
@@ -260,7 +298,7 @@ def parse_scenario(document: Mapping[str, Any]) -> ScenarioConfig:
 
     known_sweep = {
         "name", "title", "description", "seed", "tasksets_per_point",
-        "utilization",
+        "utilization", "kind", "sim_trials", "sim_duration",
     }
     unknown = set(sweep) - known_sweep
     _require(
@@ -270,13 +308,42 @@ def parse_scenario(document: Mapping[str, Any]) -> ScenarioConfig:
     )
     known_grid = {
         "cores", "heuristic", "ordering", "admission", "allocator",
-        "workload",
+        "workload", "policy",
     }
     unknown = set(grid) - known_grid
     _require(
         not unknown,
         f"unknown [grid] key(s) {sorted(unknown)}; expected "
         f"{sorted(known_grid)}",
+    )
+
+    kind = sweep.get("kind", "acceptance")
+    _require(
+        kind in SCENARIO_KINDS,
+        f"[sweep] kind must be one of {list(SCENARIO_KINDS)}, "
+        f"got {kind!r}",
+    )
+    for key in ("sim_trials", "sim_duration", ):
+        _require(
+            kind == "detection-latency" or sweep.get(key) is None,
+            f"[sweep] {key} is only valid with "
+            f"kind = 'detection-latency'",
+        )
+    _require(
+        kind == "detection-latency" or "policy" not in grid,
+        "[grid] policy axis requires [sweep] kind = 'detection-latency'",
+    )
+    sim_trials = sweep.get("sim_trials")
+    _require(
+        sim_trials is None
+        or (isinstance(sim_trials, int) and sim_trials >= 1),
+        "[sweep] sim_trials must be an integer >= 1",
+    )
+    sim_duration = sweep.get("sim_duration")
+    _require(
+        sim_duration is None
+        or (isinstance(sim_duration, (int, float)) and sim_duration > 0),
+        "[sweep] sim_duration must be a positive number (milliseconds)",
     )
 
     def axis(key: str, allowed: Sequence[str] | None) -> tuple:
@@ -369,6 +436,14 @@ def parse_scenario(document: Mapping[str, Any]) -> ScenarioConfig:
     else:
         workloads = ("paper-synthetic",)
 
+    policy_axis = "policy" in grid
+    if policy_axis:
+        from repro.sim.detection import DETECTION_POLICIES
+
+        policies = axis("policy", DETECTION_POLICIES)
+    else:
+        policies = ("release-after",)
+
     return ScenarioConfig(
         name=name,
         title=str(sweep.get("title", "")),
@@ -381,6 +456,13 @@ def parse_scenario(document: Mapping[str, Any]) -> ScenarioConfig:
         allocator_axis=allocator_axis,
         workloads=workloads,
         workload_axis=workload_axis,
+        kind=kind,
+        policies=policies,
+        policy_axis=policy_axis,
+        sim_trials=sim_trials,
+        sim_duration=(
+            float(sim_duration) if sim_duration is not None else None
+        ),
         seed=seed,
         tasksets_per_point=tasksets,
         utilization_start=(
@@ -557,8 +639,18 @@ class ScenarioExperiment(Experiment):
     columns = (
         "cores", "utilization", "scheme", "acceptance", "mean_tightness",
     )
+    #: Scenario kind this class consumes; subclasses override.  Guards
+    #: against running a detection-latency config through the
+    #: acceptance aggregation (use build_scenario_experiment).
+    scenario_kind = "acceptance"
 
     def __init__(self, config: ScenarioConfig) -> None:
+        if config.kind != self.scenario_kind:
+            raise ValidationError(
+                f"{type(self).__name__} handles kind "
+                f"{self.scenario_kind!r}, got {config.kind!r}; build via "
+                f"build_scenario_experiment()"
+            )
         self.config = config
         self.name = f"sweep:{config.name}"
         self.title = config.title or f"Scenario sweep '{config.name}'"
@@ -697,3 +789,18 @@ class ScenarioExperiment(Experiment):
             for panel in domain.panels
             for c in panel.comparison.cells
         ]
+
+
+def build_scenario_experiment(config: ScenarioConfig) -> Experiment:
+    """The experiment class matching ``config.kind``.
+
+    The single entry point the CLI's ``sweep`` subcommand and the job
+    runner use, so a ``kind = "detection-latency"`` TOML resolves to
+    the same experiment whether it runs directly or through the job
+    service (byte-identical results either way).
+    """
+    if config.kind == "detection-latency":
+        from repro.experiments.detection import DetectionScenarioExperiment
+
+        return DetectionScenarioExperiment(config)
+    return ScenarioExperiment(config)

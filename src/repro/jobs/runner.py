@@ -288,7 +288,7 @@ class JobRequest:
 
             return AblationExperiment(parse_ablation(self.ablation)), scale
         from repro.experiments.scenario import (
-            ScenarioExperiment,
+            build_scenario_experiment,
             parse_scenario,
         )
 
@@ -297,7 +297,7 @@ class JobRequest:
             config = config.with_allocators(self.allocators)
         if self.workloads:
             config = config.with_workloads(self.workloads)
-        return ScenarioExperiment(config), scale
+        return build_scenario_experiment(config), scale
 
 
 class Job:

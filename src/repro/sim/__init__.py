@@ -10,14 +10,22 @@
 from repro.sim.attacks import Attack, sample_attacks, surfaces_of
 from repro.sim.detection import (
     DETECTION_POLICIES,
+    DetectionIndex,
     build_surface_map,
     detection_time,
     detection_times,
+    undetected_breakdown,
 )
 from repro.sim.engine import SimResult, SimTask, Simulator
 from repro.sim.events import DeadlineMiss, ExecutionSlice, JobRecord
 from repro.sim.runner import build_sim_tasks, simulate_allocation
-from repro.sim.stats import ResponseStats, all_response_stats, response_stats
+from repro.sim.stats import (
+    ResponseStats,
+    ResponseSummary,
+    all_response_stats,
+    response_stats,
+    summarize_response_stats,
+)
 from repro.sim.trace import ascii_gantt, busy_time_by_task, merge_slices
 
 __all__ = [
@@ -35,11 +43,15 @@ __all__ = [
     "build_surface_map",
     "detection_time",
     "detection_times",
+    "undetected_breakdown",
+    "DetectionIndex",
     "DETECTION_POLICIES",
     "ascii_gantt",
     "busy_time_by_task",
     "merge_slices",
     "ResponseStats",
+    "ResponseSummary",
     "response_stats",
     "all_response_stats",
+    "summarize_response_stats",
 ]

@@ -11,10 +11,17 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Iterable
 
 from repro.sim.engine import SimResult
 
-__all__ = ["ResponseStats", "response_stats", "all_response_stats"]
+__all__ = [
+    "ResponseStats",
+    "ResponseSummary",
+    "response_stats",
+    "all_response_stats",
+    "summarize_response_stats",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -66,6 +73,77 @@ def response_stats(result: SimResult, task: str) -> ResponseStats:
         best=min(responses),
         worst=max(responses),
         mean=sum(responses) / len(responses),
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class ResponseSummary:
+    """Scheme-level aggregate over many :class:`ResponseStats`.
+
+    A task with no finished job reports ``mean=inf`` (its response time
+    is unknown, not infinite); averaging that marker across tasks would
+    poison the whole row.  The summary therefore *skips* saturated
+    tasks from the extrema/mean and counts them explicitly in
+    ``saturated_tasks`` — when every task is saturated the extrema stay
+    ``inf`` and ``observed_tasks`` is 0, so callers can render "n/a"
+    instead of a bare ``inf``.
+    """
+
+    tasks: int
+    observed_tasks: int
+    saturated_tasks: int
+    jobs: int
+    unfinished: int
+    best: float
+    worst: float
+    mean: float
+
+    @property
+    def observed_any(self) -> bool:
+        """Whether at least one task contributed a finite response."""
+        return self.observed_tasks > 0
+
+
+def summarize_response_stats(
+    stats: Iterable[ResponseStats],
+) -> ResponseSummary:
+    """NaN/inf-safe aggregate of per-task response statistics.
+
+    ``mean`` is job-weighted over *finished* jobs only; ``best``/
+    ``worst`` range over tasks that observed at least one completion.
+    Saturated tasks (all jobs unfinished) are excluded from all three
+    and tallied in ``saturated_tasks``.
+    """
+    tasks = 0
+    saturated = 0
+    jobs = 0
+    unfinished = 0
+    best = math.inf
+    worst = -math.inf
+    weighted_sum = 0.0
+    finished_jobs = 0
+    for entry in stats:
+        tasks += 1
+        jobs += entry.jobs
+        unfinished += entry.unfinished
+        finished = entry.jobs - entry.unfinished
+        if finished <= 0:
+            saturated += 1
+            continue
+        best = min(best, entry.best)
+        worst = max(worst, entry.worst)
+        weighted_sum += entry.mean * finished
+        finished_jobs += finished
+    observed = tasks - saturated
+    return ResponseSummary(
+        tasks=tasks,
+        observed_tasks=observed,
+        saturated_tasks=saturated,
+        jobs=jobs,
+        unfinished=unfinished,
+        best=best if observed else math.inf,
+        worst=worst if observed else math.inf,
+        mean=weighted_sum / finished_jobs if finished_jobs else math.inf,
     )
 
 

@@ -1,0 +1,173 @@
+"""Hypothesis property suite over the three Eq. (7) period solvers.
+
+The period-adapting allocator family leans on cross-solver contracts
+that the unit tests only spot-check:
+
+* closed-form ≡ GP on every feasible instance (the paper solves the
+  same problem twice);
+* exact-RTA is never *looser* than the closed form (the linear envelope
+  of Eq. (5) over-approximates true interference);
+* all three agree on infeasibility when the required period exceeds
+  ``T_max``, including the near-saturation regime ``U → 1⁻`` where the
+  closed-form denominator ``1 − U`` nearly vanishes.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.interference import (
+    Interferer,
+    InterferenceEnv,
+    min_feasible_period,
+)
+from repro.model.task import SecurityTask
+from repro.opt.period import adapt_period, adapt_period_exact
+from repro.opt.period_gp import adapt_period_gp
+
+_REL = 1e-6
+
+
+def sec(wcet: float, tdes: float, tmax: float) -> SecurityTask:
+    return SecurityTask(name="s", wcet=wcet, period_des=tdes,
+                        period_max=tmax)
+
+
+@st.composite
+def environments(draw, max_utilization: float = 0.9) -> InterferenceEnv:
+    n = draw(st.integers(min_value=0, max_value=4))
+    interferers = []
+    budget = max_utilization
+    for _ in range(n):
+        period = draw(st.floats(min_value=5.0, max_value=500.0))
+        share = draw(st.floats(min_value=0.01, max_value=0.45))
+        utilization = min(share, max(budget - 0.01, 0.01))
+        budget -= utilization
+        interferers.append(Interferer(period * utilization, period))
+    return InterferenceEnv(interferers)
+
+
+@st.composite
+def tasks(draw) -> SecurityTask:
+    tdes = draw(st.floats(min_value=20.0, max_value=1000.0))
+    factor = draw(st.floats(min_value=1.0, max_value=20.0))
+    wcet = draw(st.floats(min_value=0.1, max_value=tdes / 4.0))
+    return sec(wcet, tdes, tdes * factor)
+
+
+@st.composite
+def near_saturation_environments(draw) -> InterferenceEnv:
+    """Interferer utilisation in [0.95, 1) — the ``1 − U`` denominator
+    of the closed form close to vanishing."""
+    period = draw(st.floats(min_value=10.0, max_value=100.0))
+    utilization = draw(st.floats(min_value=0.95, max_value=0.999999))
+    return InterferenceEnv([Interferer(period * utilization, period)])
+
+
+class TestClosedFormVsGp:
+    @given(task=tasks(), env=environments())
+    @settings(max_examples=60, deadline=None)
+    def test_same_optimum_when_feasible(self, task, env):
+        closed = adapt_period(task, env)
+        gp = adapt_period_gp(task, env)
+        assert (closed is None) == (gp is None)
+        if closed is not None:
+            assert gp.period == pytest.approx(closed.period, rel=_REL)
+            assert gp.tightness == pytest.approx(
+                closed.tightness, rel=_REL
+            )
+
+
+class TestExactNeverLooser:
+    @given(task=tasks(), env=environments())
+    @settings(max_examples=100, deadline=None)
+    def test_exact_period_at_most_closed_form(self, task, env):
+        closed = adapt_period(task, env)
+        exact = adapt_period_exact(task, env)
+        if closed is None:
+            return  # exact may still succeed — strictly more permissive
+        assert exact is not None
+        assert exact.period <= closed.period * (1.0 + _REL)
+        assert exact.tightness >= closed.tightness * (1.0 - _REL)
+
+    @given(task=tasks(), env=environments())
+    @settings(max_examples=100, deadline=None)
+    def test_periods_stay_in_box(self, task, env):
+        for solve in (adapt_period, adapt_period_exact):
+            solution = solve(task, env)
+            if solution is None:
+                continue
+            assert task.period_des <= solution.period
+            assert solution.period <= task.period_max * (1.0 + _REL)
+            assert 0.0 < solution.tightness <= 1.0 + _REL
+            assert solution.binding in ("desired", "interference")
+
+    @given(task=tasks(), env=environments())
+    @settings(max_examples=100, deadline=None)
+    def test_exact_optimum_is_schedulable(self, task, env):
+        from repro.analysis.rta import response_time
+
+        solution = adapt_period_exact(task, env)
+        if solution is None:
+            return
+        response = response_time(task.wcet, env.interferers)
+        assert response <= solution.period * (1.0 + _REL)
+
+
+@st.composite
+def infeasible_instances(draw):
+    """A (task, env) pair whose closed-form required period strictly
+    exceeds ``T_max`` by construction: ``T_max`` is drawn *inside* the
+    gap between ``T_des`` and the required period."""
+    env = draw(environments())
+    wcet = draw(st.floats(min_value=0.5, max_value=50.0))
+    required = (wcet + env.total_wcet) / (1.0 - env.utilization)
+    # T_des above the WCET (an idle core must admit the desired rate)
+    # but well inside the infeasibility gap.
+    tdes = wcet * draw(st.floats(min_value=1.1, max_value=3.0))
+    assume(required > tdes * 1.01)
+    # T_max in [tdes, 0.99·required): below the requirement, above T_des.
+    frac = draw(st.floats(min_value=0.0, max_value=0.99))
+    tmax = tdes + frac * (required * 0.99 - tdes)
+    return sec(wcet, tdes, max(tmax, tdes)), env
+
+
+class TestRequiredPeriodBeyondTmax:
+    @given(instance=infeasible_instances())
+    @settings(max_examples=100, deadline=None)
+    def test_infeasibility_agreement(self, instance):
+        """When the closed-form required period exceeds ``T_max`` the
+        closed form and the GP both return ``None``; the exact solver
+        may only disagree by being *more* permissive."""
+        task, env = instance
+        required = min_feasible_period(task, env)
+        assume(required > task.period_max * (1.0 + 1e-9))
+        assert adapt_period(task, env) is None
+        assert adapt_period_gp(task, env) is None
+        exact = adapt_period_exact(task, env)
+        if exact is not None:
+            assert exact.period <= task.period_max * (1.0 + _REL)
+
+    @given(task=tasks(), env=near_saturation_environments())
+    @settings(max_examples=60, deadline=None)
+    def test_near_saturation_is_never_inf(self, task, env):
+        """As U → 1⁻ the required period blows up; every solver must
+        return either ``None`` or a finite in-box period — never an
+        ``inf`` or a period beyond ``T_max``."""
+        for solve in (adapt_period, adapt_period_exact,
+                      adapt_period_gp):
+            solution = solve(task, env)
+            if solution is not None:
+                assert math.isfinite(solution.period)
+                assert solution.period <= task.period_max * (1.0 + _REL)
+
+    def test_saturated_core_rejected_by_all(self):
+        env = InterferenceEnv([Interferer(40.0, 40.0)])
+        task = sec(1.0, 50.0, 5000.0)
+        assert adapt_period(task, env) is None
+        assert adapt_period_gp(task, env) is None
+        assert adapt_period_exact(task, env) is None

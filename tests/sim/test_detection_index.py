@@ -1,0 +1,217 @@
+"""The indexed detection path: identical to the scan, minus the rescan.
+
+``detection_times`` builds one :class:`DetectionIndex` per call
+(anchor-sorted completions with a suffix minimum) instead of rescanning
+every job per attack; the property suite pins that the indexed result
+is *identical* — not merely close — to the reference
+``detection_time`` scan on arbitrary job/attack configurations,
+including the anchor-tolerance edge the scan implements.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.model.task import SecurityTask, TaskSet
+from repro.sim.attacks import Attack
+from repro.sim.detection import (
+    DETECTION_POLICIES,
+    DetectionIndex,
+    build_surface_map,
+    detection_time,
+    detection_times,
+    undetected_breakdown,
+)
+from repro.sim.engine import SimResult
+from repro.sim.events import JobRecord
+
+SURFACES = ("filesystem", "network", "kernel")
+MONITORS = {
+    "filesystem": ("fs_check",),
+    "network": ("net_check", "net_check2"),
+    # "kernel" is deliberately unmonitored.
+}
+
+
+def security_suite() -> TaskSet:
+    return TaskSet(
+        [
+            SecurityTask(
+                name="fs_check", wcet=2.0, period_des=20.0,
+                period_max=200.0, surface="filesystem",
+            ),
+            SecurityTask(
+                name="net_check", wcet=3.0, period_des=30.0,
+                period_max=300.0, surface="network",
+            ),
+            SecurityTask(
+                name="net_check2", wcet=1.0, period_des=40.0,
+                period_max=400.0, surface="network",
+            ),
+        ]
+    )
+
+
+@st.composite
+def job_lists(draw):
+    """Synthetic job records: arbitrary anchors/completions, a few
+    unfinished or never-started jobs mixed in."""
+    count = draw(st.integers(min_value=0, max_value=40))
+    jobs = []
+    for i in range(count):
+        task = draw(st.sampled_from(
+            ("fs_check", "net_check", "net_check2", "rt_task")
+        ))
+        release = draw(st.floats(
+            min_value=0.0, max_value=100.0, allow_nan=False
+        ))
+        started = draw(st.booleans())
+        start = (
+            release + draw(st.floats(min_value=0.0, max_value=5.0))
+            if started else None
+        )
+        finished = started and draw(st.booleans())
+        completion = (
+            start + draw(st.floats(min_value=0.1, max_value=10.0))
+            if finished else None
+        )
+        jobs.append(
+            JobRecord(
+                task=task, release=release, deadline=release + 50.0,
+                start=start, completion=completion, core=0,
+            )
+        )
+    return jobs
+
+
+@st.composite
+def attack_lists(draw):
+    count = draw(st.integers(min_value=0, max_value=20))
+    return [
+        Attack(
+            time=draw(st.floats(
+                min_value=0.0, max_value=110.0, allow_nan=False
+            )),
+            surface=draw(st.sampled_from(SURFACES)),
+        )
+        for _ in range(count)
+    ]
+
+
+def as_result(jobs) -> SimResult:
+    return SimResult(duration=120.0, jobs=jobs, misses=[], busy_time={})
+
+
+class TestIndexEqualsScan:
+    @given(jobs=job_lists(), attacks=attack_lists())
+    @settings(max_examples=200, deadline=None)
+    def test_indexed_identical_to_scan(self, jobs, attacks):
+        result = as_result(jobs)
+        surface_map = build_surface_map(security_suite())
+        for policy in DETECTION_POLICIES:
+            index = DetectionIndex(result, policy=policy)
+            for attack in attacks:
+                assert index.detection_time(attack, surface_map) == (
+                    detection_time(result, attack, surface_map, policy=policy)
+                )
+
+    @given(jobs=job_lists(), attacks=attack_lists())
+    @settings(max_examples=50, deadline=None)
+    def test_detection_times_uses_same_semantics(self, jobs, attacks):
+        result = as_result(jobs)
+        surface_map = build_surface_map(security_suite())
+        for policy in DETECTION_POLICIES:
+            assert detection_times(
+                result, attacks, security_suite(), policy=policy
+            ) == [
+                detection_time(result, a, surface_map, policy=policy)
+                for a in attacks
+            ]
+
+    def test_anchor_tolerance_edge(self):
+        # A job released exactly at the attack instant (and one a hair
+        # before, within tolerance) must qualify, as in the scan.
+        jobs = [
+            JobRecord(task="fs_check", release=10.0, deadline=60.0,
+                      start=10.0, completion=12.0, core=0),
+        ]
+        result = as_result(jobs)
+        surface_map = build_surface_map(security_suite())
+        index = DetectionIndex(result)
+        attack = Attack(time=10.0, surface="filesystem")
+        assert index.detection_time(attack, surface_map) == 2.0
+        within = Attack(time=10.0 + 5e-10, surface="filesystem")
+        assert index.detection_time(within, surface_map) == pytest.approx(
+            2.0 - 5e-10
+        )
+        beyond = Attack(time=10.1, surface="filesystem")
+        assert math.isinf(index.detection_time(beyond, surface_map))
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValidationError):
+            DetectionIndex(as_result([]), policy="after-lunch")
+
+
+class TestRandomizedAgainstScan:
+    def test_large_random_case(self):
+        rng = np.random.default_rng(2018)
+        jobs = []
+        for i in range(500):
+            task = ("fs_check", "net_check", "rt_task")[int(rng.integers(3))]
+            release = float(rng.uniform(0, 1000))
+            start = release + float(rng.uniform(0, 3))
+            completion = (
+                start + float(rng.uniform(0.1, 8))
+                if rng.random() > 0.1 else None
+            )
+            jobs.append(JobRecord(
+                task=task, release=release, deadline=release + 100,
+                start=start, completion=completion, core=0,
+            ))
+        result = SimResult(
+            duration=1100.0, jobs=jobs, misses=[], busy_time={}
+        )
+        attacks = [
+            Attack(time=float(rng.uniform(0, 1050)),
+                   surface=SURFACES[int(rng.integers(3))])
+            for _ in range(200)
+        ]
+        tasks = security_suite()
+        surface_map = build_surface_map(tasks)
+        for policy in DETECTION_POLICIES:
+            assert detection_times(result, attacks, tasks, policy=policy) == [
+                detection_time(result, a, surface_map, policy=policy)
+                for a in attacks
+            ]
+
+
+class TestUndetectedBreakdown:
+    def test_splits_censored_from_undetectable(self):
+        surface_map = build_surface_map(security_suite())
+        attacks = [
+            Attack(time=1.0, surface="filesystem"),   # detected
+            Attack(time=2.0, surface="filesystem"),   # censored
+            Attack(time=3.0, surface="kernel"),       # undetectable
+        ]
+        times = [4.0, math.inf, math.inf]
+        assert undetected_breakdown(times, attacks, surface_map) == (1, 1)
+
+    def test_counts_are_exhaustive_over_infs(self):
+        surface_map = build_surface_map(security_suite())
+        attacks = [Attack(time=float(i), surface="kernel") for i in range(4)]
+        times = [math.inf] * 4
+        censored, undetectable = undetected_breakdown(
+            times, attacks, surface_map
+        )
+        assert censored + undetectable == 4
+        assert censored == 0  # kernel has no monitor
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            undetected_breakdown([1.0], [], {})

@@ -7,7 +7,11 @@ import math
 import pytest
 
 from repro.sim.engine import SimTask, Simulator
-from repro.sim.stats import all_response_stats, response_stats
+from repro.sim.stats import (
+    all_response_stats,
+    response_stats,
+    summarize_response_stats,
+)
 
 
 def simulate(tasks, duration=100.0, cores=1):
@@ -71,6 +75,52 @@ class TestAllResponseStats:
         ]
         stats = all_response_stats(simulate(tasks))
         assert set(stats) == {"a", "b"}
+
+    def test_saturated_task_does_not_poison_summary(self):
+        """A task with no finished jobs (its per-task worst is ``inf``)
+        is reported as saturated instead of flooding the cross-task
+        extrema and mean with infinities."""
+        ok = SimTask(name="ok", wcet=1.0, period=10.0, priority=0, core=0)
+        # Never finishes within the horizon on its own core.
+        stuck = SimTask(name="stuck", wcet=50.0, period=60.0,
+                        priority=1, core=1)
+        stats = all_response_stats(simulate([ok, stuck], duration=40.0,
+                                            cores=2))
+        assert math.isinf(stats["stuck"].worst)
+        summary = summarize_response_stats(stats.values())
+        assert summary.tasks == 2
+        assert summary.observed_tasks == 1
+        assert summary.saturated_tasks == 1
+        assert summary.observed_any
+        assert summary.best == pytest.approx(1.0)
+        assert summary.worst == pytest.approx(1.0)
+        assert summary.mean == pytest.approx(1.0)
+        assert math.isfinite(summary.mean)
+
+    def test_all_saturated_summary_is_explicit(self):
+        stuck = SimTask(name="stuck", wcet=50.0, period=60.0,
+                        priority=0, core=0)
+        summary = summarize_response_stats(
+            all_response_stats(simulate([stuck], duration=40.0)).values()
+        )
+        assert summary.observed_tasks == 0
+        assert not summary.observed_any
+        assert summary.saturated_tasks == 1
+        assert math.isinf(summary.worst)
+        assert math.isinf(summary.mean)
+
+    def test_mean_is_job_weighted(self):
+        fast = SimTask(name="fast", wcet=1.0, period=10.0,
+                       priority=0, core=0)
+        slow = SimTask(name="slow", wcet=3.0, period=50.0,
+                       priority=1, core=1)
+        summary = summarize_response_stats(
+            all_response_stats(simulate([fast, slow], duration=100.0,
+                                        cores=2)).values()
+        )
+        # 10 jobs at 1.0 plus 2 jobs at 3.0, weighted by job count.
+        assert summary.jobs == 12
+        assert summary.mean == pytest.approx((10 * 1.0 + 2 * 3.0) / 12)
 
     def test_consistency_with_analysis_on_allocated_system(
         self, loaded_system

@@ -26,10 +26,13 @@ pinned benchmarks cover the sweep engine's hot paths:
 * ``test_ablate_runset`` / ``test_ablate_cached_rescore`` — the
   ablation harness's run-set expansion (config → swap-one variants →
   content-addressed ids) and the warm-cache re-scoring loop,
+* ``test_detection_scoring`` — indexed attack scoring over a simulated
+  schedule (the detection-latency sweep's per-attack hot path),
 * ``test_rta_grid_sweep`` / ``test_partition_sweep_fast`` — the
   structure-of-arrays grid RTA kernel and the incremental-admission
-  partition sweep; these two are additionally held to *speedup floors*
-  against their in-run scalar references (:data:`RATIO_GATES`).
+  partition sweep; these two — and the detection index against its
+  per-attack scan reference — are additionally held to *speedup
+  floors* against their in-run references (:data:`RATIO_GATES`).
 
 Raw means are meaningless across machines (the committed baseline was
 recorded on one box, CI runs on another), so every pinned mean is
@@ -47,6 +50,7 @@ Regenerate the baseline after an *intended* perf change::
         benchmarks/test_bench_workloads.py \
         benchmarks/test_bench_ablate.py \
         benchmarks/test_bench_analysis.py \
+        benchmarks/test_bench_sim.py \
         --benchmark-json=/tmp/bench.json -q
     python tools/check_bench.py --slim /tmp/bench.json \
         benchmarks/baselines/baseline.json
@@ -75,6 +79,7 @@ PINNED = (
     "test_workload_batch_generation",
     "test_ablate_runset",
     "test_ablate_cached_rescore",
+    "test_detection_scoring",
 )
 
 #: The normaliser: CPU-bound, stable, present in every gated run.
@@ -89,6 +94,9 @@ RATIO_GATES = (
     ("test_rta_scalar_sweep", "test_rta_grid_sweep", 10.0),
     # Fig2-style partition sweep: incremental admission vs rebuild-and-test.
     ("test_partition_sweep_generic", "test_partition_sweep_fast", 2.0),
+    # Detection scoring: per-monitor sorted index vs the per-attack
+    # scan over every job (O(jobs × attacks)).
+    ("test_detection_scan_reference", "test_detection_scoring", 4.0),
 )
 
 
